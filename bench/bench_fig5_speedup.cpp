@@ -1,0 +1,41 @@
+// Figure 5: "Speedup comparison among the OpenMP, TreadMarks and MPI
+// versions of the applications" on eight processors.
+//
+// The paper's headline claims, which this bench lets you check:
+//   - the OpenMP versions achieve performance within a few percent of their
+//     hand-coded TreadMarks counterparts;
+//   - both still lag the MPI versions.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace now;
+  using namespace now::bench;
+  const int scale = scale_from_args(argc, argv);
+  const Workloads w = Workloads::standard(scale);
+  constexpr std::uint32_t kNodes = 8;
+
+  std::cout << "== Figure 5: speedups on " << kNodes
+            << " simulated workstations (OpenMP vs TreadMarks vs MPI) ==\n";
+
+  Table t({"Application", "OpenMP", "Tmk", "MPI", "OpenMP/Tmk"});
+  auto add = [&](const char* name, const VersionedResults& r) {
+    const double so = speedup(r.seq, r.omp);
+    const double st = speedup(r.seq, r.tmk);
+    const double sm = speedup(r.seq, r.mpi);
+    t.add_row({name, Table::fmt(so), Table::fmt(st), Table::fmt(sm),
+               Table::fmt(st > 0 ? so / st : 0)});
+  };
+
+  add("Sweep3D", run_all(w.sweep, kNodes));
+  add("3D-FFT", run_all(w.fft, kNodes));
+  add("Water", run_all(w.water, kNodes));
+  add("TSP", run_all(w.tsp, kNodes));
+  add("QSORT", run_all(w.qs, kNodes));
+
+  t.print(std::cout);
+  std::cout << "\n(expected shape: OpenMP within a few percent of Tmk; both"
+               "\n behind MPI; bars comparable to the paper's Figure 5)\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the DSM primitives (host-time costs of
+// the building blocks: RLE diffs, twins, interval-log operations).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "tmk/diff.h"
+#include "tmk/intervals.h"
+
+namespace {
+
+using now::Rng;
+using now::tmk::diff_apply;
+using now::tmk::diff_create;
+using now::tmk::IntervalRecord;
+using now::tmk::KnowledgeLog;
+using now::tmk::kPageSize;
+
+std::vector<std::uint8_t> random_page(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> p(kPageSize);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.next_u64());
+  return p;
+}
+
+void BM_DiffCreate(benchmark::State& state) {
+  auto twin = random_page(1);
+  auto cur = twin;
+  // Dirty `range` bytes in the middle of the page.
+  const auto range = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < range; ++i) cur[1024 + i] ^= 0x5a;
+  for (auto _ : state) {
+    auto d = diff_create(twin.data(), cur.data(), kPageSize);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_DiffCreate)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_DiffApply(benchmark::State& state) {
+  auto twin = random_page(2);
+  auto cur = twin;
+  const auto range = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < range; ++i) cur[512 + i] ^= 0xa5;
+  const auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  auto target = twin;
+  for (auto _ : state) {
+    diff_apply(target.data(), kPageSize, d);
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.size()));
+}
+BENCHMARK(BM_DiffApply)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_TwinCopy(benchmark::State& state) {
+  auto page = random_page(3);
+  std::vector<std::uint8_t> twin(kPageSize);
+  for (auto _ : state) {
+    std::memcpy(twin.data(), page.data(), kPageSize);
+    benchmark::DoNotOptimize(twin.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_TwinCopy);
+
+void BM_IntervalMergeAndDelta(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    KnowledgeLog a(nodes), b(nodes);
+    std::vector<IntervalRecord> recs;
+    for (std::uint32_t n = 1; n < nodes; ++n)
+      for (std::uint32_t s = 1; s <= 16; ++s) {
+        IntervalRecord r;
+        r.node = n;
+        r.seq = s;
+        r.lamport = s;
+        r.pages = {s, s + 1};
+        recs.push_back(r);
+      }
+    state.ResumeTiming();
+    a.merge(recs);
+    auto delta = a.delta_since(b.vt());
+    benchmark::DoNotOptimize(delta);
+  }
+}
+BENCHMARK(BM_IntervalMergeAndDelta)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Extension: speedup vs node count (the paper reports only 8-processor
+// bars; the scaling curves make the pipeline fill/drain and communication
+// crossover behaviour visible).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace now;
+  using namespace now::bench;
+  const int scale = scale_from_args(argc, argv);
+  const Workloads w = Workloads::standard(scale);
+
+  std::cout << "== Scaling: speedup vs workstations (OpenMP / Tmk / MPI) ==\n";
+
+  Table t({"Application", "nodes", "OpenMP", "Tmk", "MPI"});
+  auto sweep_app = [&](const char* name, auto params) {
+    const auto seq = run_seq(params, sim::TimeModel{});
+    for (std::uint32_t n : {2u, 4u, 8u}) {
+      const auto omp_r = run_omp(params, dsm_cfg(n));
+      const auto tmk_r = run_tmk(params, dsm_cfg(n));
+      const auto mpi_r = run_mpi(params, mpi_cfg(n));
+      t.add_row({name, Table::fmt(static_cast<std::uint64_t>(n)),
+                 Table::fmt(speedup(seq, omp_r)), Table::fmt(speedup(seq, tmk_r)),
+                 Table::fmt(speedup(seq, mpi_r))});
+    }
+  };
+
+  sweep_app("Water", w.water);
+  sweep_app("3D-FFT", w.fft);
+  sweep_app("Sweep3D", w.sweep);
+
+  t.print(std::cout);
+  return 0;
+}

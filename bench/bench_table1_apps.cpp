@@ -1,0 +1,52 @@
+// Table 1: "Applications, input data sets, sequential execution time and
+// parallel and synchronization directives in the OpenMP versions."
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace now;
+  using namespace now::bench;
+  const int scale = scale_from_args(argc, argv);
+  const Workloads w = Workloads::standard(scale);
+
+  std::cout << "== Table 1: applications, data sizes, sequential time, "
+               "directives ==\n";
+
+  Table t({"Application", "Data size", "Seq time (virtual s)", "Parallel",
+           "Synchronization"});
+
+  auto seq_s = [](const apps::AppResult& r) {
+    return Table::fmt(r.virtual_time_us / 1e6, 3);
+  };
+
+  auto sweep = apps::sweep3d::run_seq(w.sweep, sim::TimeModel{});
+  t.add_row({"Sweep3D",
+             std::to_string(w.sweep.nx) + "^3 mesh, kb=" + std::to_string(w.sweep.k_block),
+             seq_s(sweep), "parallel region", "semaphore"});
+
+  auto fft = apps::fft3d::run_seq(w.fft, sim::TimeModel{});
+  t.add_row({"3D-FFT",
+             std::to_string(w.fft.nx) + "x" + std::to_string(w.fft.ny) + "x" +
+                 std::to_string(w.fft.nz) + ", " + std::to_string(w.fft.iters) + " iters",
+             seq_s(fft), "parallel do", "none"});
+
+  auto water = apps::water::run_seq(w.water, sim::TimeModel{});
+  t.add_row({"Water", std::to_string(w.water.nmol) + " molecules, " +
+                          std::to_string(w.water.steps) + " steps",
+             seq_s(water), "parallel do/region", "barrier, lock"});
+
+  auto tsp = apps::tsp::run_seq(w.tsp, sim::TimeModel{});
+  t.add_row({"TSP", std::to_string(w.tsp.ncities) + " cities", seq_s(tsp),
+             "parallel region", "critical"});
+
+  auto qs = apps::qs::run_seq(w.qs, sim::TimeModel{});
+  t.add_row({"QSORT", std::to_string(w.qs.n) + " ints, bubble threshold " +
+                          std::to_string(w.qs.bubble_threshold),
+             seq_s(qs), "parallel region", "critical, cond. var."});
+
+  t.print(std::cout);
+  std::cout << "\n(paper: Sweep3D 50^3; 3D-FFT/Water/TSP/QSORT sizes per Table 1;"
+               "\n sequential times are virtual 1998-workstation seconds)\n";
+  return 0;
+}

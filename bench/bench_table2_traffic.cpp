@@ -1,0 +1,42 @@
+// Table 2: "Amount of data transmitted and number of messages in the
+// OpenMP, TreadMarks and MPI versions of the applications" (8 processors).
+//
+// The shape the paper reports: "both OpenMP and TreadMarks send more
+// messages and data than MPI.  Separation of synchronization and data
+// transfer, the use of an invalidate protocol, and false sharing contribute
+// to this extra communication."
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace now;
+  using namespace now::bench;
+  const int scale = scale_from_args(argc, argv);
+  const Workloads w = Workloads::standard(scale);
+  constexpr std::uint32_t kNodes = 8;
+
+  std::cout << "== Table 2: data (MB) and messages on " << kNodes
+            << " simulated workstations ==\n";
+
+  Table t({"Application", "MB OpenMP", "MB Tmk", "MB MPI", "Msg OpenMP",
+           "Msg Tmk", "Msg MPI"});
+  auto add = [&](const char* name, const VersionedResults& r) {
+    t.add_row({name, Table::fmt(r.omp.traffic.wire_mbytes()),
+               Table::fmt(r.tmk.traffic.wire_mbytes()),
+               Table::fmt(r.mpi.traffic.wire_mbytes()),
+               Table::fmt(r.omp.traffic.messages), Table::fmt(r.tmk.traffic.messages),
+               Table::fmt(r.mpi.traffic.messages)});
+  };
+
+  add("Sweep3D", run_all(w.sweep, kNodes));
+  add("3D-FFT", run_all(w.fft, kNodes));
+  add("Water", run_all(w.water, kNodes));
+  add("TSP", run_all(w.tsp, kNodes));
+  add("QSORT", run_all(w.qs, kNodes));
+
+  t.print(std::cout);
+  std::cout << "\n(expected shape: OpenMP ~ Tmk; DSM versions send more"
+               "\n messages than MPI for the regular applications)\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Sample input for the ompcc translator: computes pi by midpoint
+// integration with a `parallel for` + reduction, in the paper's directive
+// dialect (variables default to private; sharing is explicit).
+//
+//   $ ompcc examples/pi_directives.c -o pi_gen.cpp --nodes 8
+//   $ g++ -std=c++20 -O2 -I src pi_gen.cpp build/src/tmk/libnow_tmk.a \
+//         build/src/common/libnow_common.a -lpthread -o pi && ./pi
+double pi;
+
+int main() {
+#pragma omp parallel for reduction(+: pi)
+  for (int i = 0; i < 1000000; i++) {
+    double x = (i + 0.5) / 1000000;
+    pi += 4.0 / (1.0 + x * x);
+  }
+  pi = pi / 1000000;
+  print(pi);
+  return 0;
+}

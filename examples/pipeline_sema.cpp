@@ -1,0 +1,47 @@
+// The paper's Figure 3: a producer/consumer pipeline expressed with the
+// proposed semaphore directives ("busy-waiting is eliminated").
+//
+// Compare with pipeline_flush.cpp (Figure 1), which needs busy-wait flags
+// and a 2(n-1)-message flush per round.
+#include <cstdio>
+
+#include "tmk/tmk.h"
+
+int main() {
+  using now::tmk::gptr;
+
+  now::tmk::DsmConfig cfg;
+  cfg.num_nodes = 2;
+  now::tmk::DsmRuntime rt(cfg);
+
+  constexpr int kRounds = 25;
+  constexpr std::uint32_t kAvailable = 0;  // semaphore ids
+  constexpr std::uint32_t kDone = 1;
+
+  rt.run_spmd([](now::tmk::Tmk& tmk) {
+    gptr<std::uint64_t> data(now::tmk::kPageSize);
+    if (tmk.id() == 0) {  // producer
+      for (int i = 1; i <= kRounds; ++i) {
+        *data = static_cast<std::uint64_t>(i) * i;  // write data
+        tmk.sema_signal(kAvailable);
+        tmk.sema_wait(kDone);
+      }
+    } else {  // consumer
+      std::uint64_t sum = 0;
+      for (int i = 1; i <= kRounds; ++i) {
+        tmk.sema_wait(kAvailable);
+        sum += *data;  // read data
+        tmk.sema_signal(kDone);
+      }
+      std::printf("consumer saw sum of squares 1..%d = %llu (expect %d)\n",
+                  kRounds, static_cast<unsigned long long>(sum),
+                  kRounds * (kRounds + 1) * (2 * kRounds + 1) / 6);
+    }
+  });
+
+  const auto t = rt.traffic();
+  std::printf("pipeline used %llu messages (%u rounds x 4 sema ops x 2 msgs "
+              "+ data diffs)\n",
+              static_cast<unsigned long long>(t.messages), kRounds);
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "apps/fft3d/fft3d.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace now::apps::fft3d {
+
+void fill_initial(Complex* u, const Params& p) {
+  Rng rng(p.seed);
+  const std::size_t total = p.nx * p.ny * p.nz;
+  for (std::size_t i = 0; i < total; ++i)
+    u[i] = Complex(rng.next_double(), rng.next_double());
+}
+
+double evolve_factor(const Params& p, std::uint32_t t, std::size_t kx,
+                     std::size_t ky, std::size_t kz) {
+  // Frequencies folded to the symmetric range, as in NAS FT.
+  auto fold = [](std::size_t k, std::size_t n) -> double {
+    const auto kk = static_cast<double>(k);
+    const auto nn = static_cast<double>(n);
+    return kk < nn / 2 ? kk : kk - nn;
+  };
+  const double fx = fold(kx, p.nx), fy = fold(ky, p.ny), fz = fold(kz, p.nz);
+  const double k2 = fx * fx + fy * fy + fz * fz;
+  return std::exp(-4.0 * M_PI * M_PI * p.alpha * static_cast<double>(t) * k2);
+}
+
+void fold_checksum(const Complex* v, std::size_t total, double& re, double& im) {
+  for (std::size_t j = 1; j <= 1024; ++j) {
+    const std::size_t q = (5 * j) % total;
+    re += v[q].real();
+    im += v[q].imag();
+  }
+}
+
+}  // namespace now::apps::fft3d

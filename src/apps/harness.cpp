@@ -1,0 +1,29 @@
+#include "apps/harness.h"
+
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "simnet/clock.h"
+
+namespace now::apps {
+
+AppResult run_sequential(const sim::TimeModel& time,
+                         const std::function<double()>& workload) {
+  AppResult result;
+  std::thread t([&] {
+    sim::CpuMeter meter;
+    result.checksum = workload();
+    result.virtual_time_us =
+        static_cast<double>(time.scale_ns(meter.take_delta_ns())) / 1000.0;
+  });
+  t.join();
+  return result;
+}
+
+bool checksum_close(double a, double b, double rel_tol) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace now::apps

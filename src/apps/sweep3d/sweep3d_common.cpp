@@ -1,0 +1,11 @@
+#include "apps/sweep3d/sweep3d.h"
+
+namespace now::apps::sweep3d {
+
+double checksum(const double* phi, std::size_t total) {
+  double s = 0;
+  for (std::size_t i = 0; i < total; ++i) s += phi[i];
+  return s;
+}
+
+}  // namespace now::apps::sweep3d

@@ -1,0 +1,39 @@
+#include "apps/tsp/tsp.h"
+
+#include <queue>
+
+namespace now::apps::tsp {
+
+AppResult run_seq(const Params& p, const sim::TimeModel& time) {
+  auto dist = make_distances(p);
+  return run_sequential(time, [&]() -> double {
+    using Entry = std::pair<std::uint64_t, Tour>;  // (priority, tour)
+    auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(cmp);
+    pq.push({0, Tour{}});
+    std::uint64_t best = ~std::uint64_t{0};
+    while (!pq.empty()) {
+      const Tour t = pq.top().second;
+      pq.pop();
+      if (t.length >= best) continue;
+      if (p.ncities - t.depth <= p.exhaustive_depth) {
+        best = exhaustive_best(dist, p.ncities, t, best);
+        continue;
+      }
+      for (std::uint32_t c = 1; c < p.ncities; ++c) {
+        if (t.visited_mask & (std::uint64_t{1} << c)) continue;
+        Tour next = t;
+        next.length += dist[t.last * p.ncities + c];
+        if (next.length >= best) continue;
+        next.visited_mask |= std::uint64_t{1} << c;
+        next.path[next.depth] = static_cast<std::uint8_t>(c);
+        next.depth += 1;
+        next.last = c;
+        pq.push({next.length, next});
+      }
+    }
+    return static_cast<double>(best);
+  });
+}
+
+}  // namespace now::apps::tsp

@@ -1,0 +1,93 @@
+#include "apps/water/water.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace now::apps::water {
+
+namespace {
+constexpr double kBondK = 1.0, kBondR0 = 1.0;      // O-H springs
+constexpr double kAngleK = 0.3, kAngleR0 = 1.633;  // H-H proxy spring
+constexpr double kLjSigma2 = 1.0, kLjEps = 1.0;
+
+// Adds a harmonic spring force between atoms at pos+ia*3 and pos+ib*3.
+double spring(const double* pos, double* frc, std::size_t ia, std::size_t ib,
+              double k, double r0) {
+  double d[3];
+  double r2 = 0;
+  for (int c = 0; c < 3; ++c) {
+    d[c] = pos[ia * 3 + c] - pos[ib * 3 + c];
+    r2 += d[c] * d[c];
+  }
+  const double r = std::sqrt(r2);
+  const double stretch = r - r0;
+  const double coef = -k * stretch / (r > 1e-12 ? r : 1.0);
+  for (int c = 0; c < 3; ++c) {
+    frc[ia * 3 + c] += coef * d[c];
+    frc[ib * 3 + c] -= coef * d[c];
+  }
+  return 0.5 * k * stretch * stretch;
+}
+}  // namespace
+
+std::vector<double> make_positions(const Params& p) {
+  Rng rng(p.seed);
+  std::vector<double> pos(p.nmol * kDof);
+  // Molecules on a jittered cubic lattice, atoms in a small triangle.
+  const std::size_t side = static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(p.nmol))));
+  const double spacing = 3.0;
+  for (std::size_t m = 0; m < p.nmol; ++m) {
+    const double ox = static_cast<double>(m % side) * spacing + 0.1 * rng.next_double();
+    const double oy = static_cast<double>((m / side) % side) * spacing + 0.1 * rng.next_double();
+    const double oz = static_cast<double>(m / (side * side)) * spacing + 0.1 * rng.next_double();
+    double* mol = pos.data() + m * kDof;
+    mol[0] = ox; mol[1] = oy; mol[2] = oz;            // O
+    mol[3] = ox + 0.96; mol[4] = oy; mol[5] = oz;      // H1
+    mol[6] = ox - 0.24; mol[7] = oy + 0.93; mol[8] = oz;  // H2
+  }
+  return pos;
+}
+
+double intra_force(const double* pos, double* frc, std::size_t m) {
+  const std::size_t o = m * 3;  // atom index of the molecule's O atom
+  double e = 0;
+  e += spring(pos, frc, o, o + 1, kBondK, kBondR0);
+  e += spring(pos, frc, o, o + 2, kBondK, kBondR0);
+  e += spring(pos, frc, o + 1, o + 2, kAngleK, kAngleR0);
+  return e;
+}
+
+double pair_force(const double* pos, double* frc, std::size_t a, std::size_t b) {
+  const std::size_t ia = a * 3, ib = b * 3;  // O atoms
+  double d[3];
+  double r2 = 0;
+  for (int c = 0; c < 3; ++c) {
+    d[c] = pos[ia * 3 + c] - pos[ib * 3 + c];
+    r2 += d[c] * d[c];
+  }
+  const double s2 = kLjSigma2 / r2;
+  const double s6 = s2 * s2 * s2;
+  const double s12 = s6 * s6;
+  const double coef = 24.0 * kLjEps * (2.0 * s12 - s6) / r2;
+  for (int c = 0; c < 3; ++c) {
+    frc[ia * 3 + c] += coef * d[c];
+    frc[ib * 3 + c] -= coef * d[c];
+  }
+  return 4.0 * kLjEps * (s12 - s6);
+}
+
+void integrate(double* pos, double* vel, const double* frc, std::size_t m, double dt) {
+  for (std::size_t k = 0; k < kDof; ++k) {
+    vel[m * kDof + k] += dt * frc[m * kDof + k];
+    pos[m * kDof + k] += dt * vel[m * kDof + k];
+  }
+}
+
+double checksum(const double* pos, std::size_t nmol, double energy) {
+  double s = 0;
+  for (std::size_t i = 0; i < nmol * kDof; ++i) s += pos[i];
+  return s + energy;
+}
+
+}  // namespace now::apps::water

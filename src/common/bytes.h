@@ -1,0 +1,91 @@
+// Little-endian byte codecs used to serialize protocol messages.
+//
+// The simulated network carries flat byte payloads just like the UDP sockets
+// TreadMarks used, so message sizes reported by the traffic counters are the
+// sizes real packets would have.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace now {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, 2); }
+  void u32(std::uint32_t v) { append(&v, 4); }
+  void u64(std::uint64_t v) { append(&v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { append(&v, 8); }
+  void bytes(const void* data, std::size_t n) {
+    u32(static_cast<std::uint32_t>(n));
+    append(data, n);
+  }
+  void str(const std::string& s) { bytes(s.data(), s.size()); }
+  // Raw append without a length prefix (caller knows the size).
+  void raw(const void* data, std::size_t n) { append(data, n); }
+
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& v) : ByteReader(v.data(), v.size()) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return take<double>(); }
+
+  std::vector<std::uint8_t> bytes() {
+    std::uint32_t n = u32();
+    NOW_CHECK_LE(pos_ + n, size_) << "truncated message";
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    auto b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+  void raw(void* out, std::size_t n) {
+    NOW_CHECK_LE(pos_ + n, size_) << "truncated message";
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T take() {
+    NOW_CHECK_LE(pos_ + sizeof(T), size_) << "truncated message";
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace now

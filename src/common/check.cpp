@@ -1,0 +1,11 @@
+#include "common/check.h"
+
+namespace now {
+
+void check_failed(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "NOW_CHECK failed at %s:%d: %s %s\n", file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace now

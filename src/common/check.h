@@ -1,0 +1,60 @@
+// Checked assertions for the nowomp libraries.
+//
+// NOW_CHECK is always on (protocol invariants must hold in release builds:
+// a DSM that silently corrupts pages is worse than one that aborts).
+// NOW_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace now {
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+
+namespace detail {
+// Builds the optional streamed message of a failed check lazily.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckMessage() { check_failed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace now
+
+#define NOW_CHECK(expr)                                        \
+  if (expr) {                                                  \
+  } else                                                       \
+    ::now::detail::CheckMessage(__FILE__, __LINE__, #expr)
+
+#define NOW_CHECK_EQ(a, b) NOW_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NOW_CHECK_NE(a, b) NOW_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NOW_CHECK_LT(a, b) NOW_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NOW_CHECK_LE(a, b) NOW_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NOW_CHECK_GT(a, b) NOW_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NOW_CHECK_GE(a, b) NOW_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define NOW_DCHECK(expr) \
+  if (true) {            \
+  } else                 \
+    ::now::detail::CheckMessage(__FILE__, __LINE__, #expr)
+#else
+#define NOW_DCHECK(expr) NOW_CHECK(expr)
+#endif

@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace now {
+namespace detail {
+
+std::atomic<int> g_log_level{-1};
+
+int init_log_level() {
+  int level = static_cast<int>(LogLevel::kWarn);
+  if (const char* env = std::getenv("NOW_LOG")) {
+    if (!std::strcmp(env, "off")) level = 0;
+    else if (!std::strcmp(env, "error")) level = 1;
+    else if (!std::strcmp(env, "warn")) level = 2;
+    else if (!std::strcmp(env, "info")) level = 3;
+    else if (!std::strcmp(env, "debug")) level = 4;
+    else if (!std::strcmp(env, "trace")) level = 5;
+  }
+  g_log_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace detail
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  static const char* kNames[] = {"off", "E", "W", "I", "D", "T"};
+  static std::mutex mu;  // keep interleaved thread output line-atomic
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[now %s] %s\n", kNames[static_cast<int>(level)], buf);
+}
+
+}  // namespace now

@@ -1,0 +1,39 @@
+// Minimal leveled logger.  Protocol tracing in the DSM is indispensable when
+// debugging consistency bugs but must cost nothing when disabled, so the level
+// check is a relaxed atomic load and formatting happens only past it.
+//
+// The level is taken from the NOW_LOG environment variable on first use:
+//   NOW_LOG=off|error|warn|info|debug|trace   (default: warn)
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+
+namespace now {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+int init_log_level();
+inline int log_level() {
+  int v = g_log_level.load(std::memory_order_relaxed);
+  return v >= 0 ? v : init_log_level();
+}
+}  // namespace detail
+
+void set_log_level(LogLevel level);
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= detail::log_level();
+}
+
+// printf-style; prepends "[level node?]" and appends a newline.
+void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace now
+
+#define NOW_LOG(level, ...)                          \
+  do {                                               \
+    if (::now::log_enabled(::now::LogLevel::level))  \
+      ::now::log_message(::now::LogLevel::level, __VA_ARGS__); \
+  } while (0)

@@ -1,0 +1,31 @@
+// Fixed-width text tables for the benchmark harness: the benches that
+// regenerate the paper's tables and figure series all print through this so
+// their output is uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace now {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatting for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+
+  // Renders with a header rule and right-aligned numeric-looking columns.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace now

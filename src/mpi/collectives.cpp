@@ -1,0 +1,120 @@
+// Collectives built over point-to-point, with the algorithms MPICH used in
+// the paper's era: dissemination barrier, binomial broadcast/reduce, flat
+// gather/scatter, pairwise all-to-all.
+#include "mpi/mpi.h"
+
+namespace now::mpi {
+
+using detail::kTagAlltoall;
+using detail::kTagBarrier;
+using detail::kTagBcast;
+using detail::kTagGather;
+using detail::kTagScatter;
+
+void Comm::barrier() {
+  // Dissemination: ceil(log2 n) rounds, one send + one recv per round.
+  const int n = size();
+  std::uint8_t token = 1;
+  for (int step = 1; step < n; step <<= 1) {
+    const int to = (rank_ + step) % n;
+    const int from = (rank_ - step + n) % n;
+    send(&token, 1, to, kTagBarrier + step);
+    recv(&token, 1, from, kTagBarrier + step);
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  // Binomial tree rooted at `root`.
+  const int n = size();
+  const int me = (rank_ - root + n) % n;
+  // Find the highest power of two not exceeding me: our parent distance.
+  if (me != 0) {
+    int parent_step = 1;
+    while (parent_step * 2 <= me) parent_step <<= 1;
+    const int parent = (rank_ - parent_step + n) % n;
+    recv(buf, bytes, parent, kTagBcast + parent_step);
+  }
+  // Forward to children: steps above our own bit, while in range.
+  int first_child_step = 1;
+  while (first_child_step <= me) first_child_step <<= 1;
+  for (int step = first_child_step; me + step < n; step <<= 1) {
+    const int child = (rank_ + step) % n;
+    send(buf, bytes, child, kTagBcast + step);
+  }
+}
+
+void Comm::gather(const void* sendbuf, std::size_t bytes_per_rank, void* recvbuf,
+                  int root) {
+  if (rank_ == root) {
+    auto* out = static_cast<std::uint8_t*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(rank_) * bytes_per_rank, sendbuf,
+                bytes_per_rank);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv(out + static_cast<std::size_t>(r) * bytes_per_rank, bytes_per_rank, r,
+           kTagGather);
+    }
+  } else {
+    send(sendbuf, bytes_per_rank, root, kTagGather);
+  }
+}
+
+void Comm::scatter(const void* sendbuf, std::size_t bytes_per_rank, void* recvbuf,
+                   int root) {
+  if (rank_ == root) {
+    const auto* in = static_cast<const std::uint8_t*>(sendbuf);
+    std::memcpy(recvbuf, in + static_cast<std::size_t>(rank_) * bytes_per_rank,
+                bytes_per_rank);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(in + static_cast<std::size_t>(r) * bytes_per_rank, bytes_per_rank, r,
+           kTagScatter);
+    }
+  } else {
+    recv(recvbuf, bytes_per_rank, root, kTagScatter);
+  }
+}
+
+void Comm::alltoall(const void* sendbuf, std::size_t bytes_per_rank, void* recvbuf) {
+  const int n = size();
+  const auto* in = static_cast<const std::uint8_t*>(sendbuf);
+  auto* out = static_cast<std::uint8_t*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes_per_rank,
+              in + static_cast<std::size_t>(rank_) * bytes_per_rank, bytes_per_rank);
+  // Pairwise exchange: round i talks to rank±i, which keeps every round a
+  // disjoint set of pairs and the switch uncongested.
+  for (int i = 1; i < n; ++i) {
+    const int to = (rank_ + i) % n;
+    const int from = (rank_ - i + n) % n;
+    sendrecv(in + static_cast<std::size_t>(to) * bytes_per_rank, bytes_per_rank, to,
+             kTagAlltoall + i,
+             out + static_cast<std::size_t>(from) * bytes_per_rank, bytes_per_rank,
+             from, kTagAlltoall + i);
+  }
+}
+
+void Comm::alltoallv(const void* sendbuf, const std::vector<std::size_t>& sendbytes,
+                     void* recvbuf, const std::vector<std::size_t>& recvbytes) {
+  const int n = size();
+  NOW_CHECK_EQ(sendbytes.size(), static_cast<std::size_t>(n));
+  NOW_CHECK_EQ(recvbytes.size(), static_cast<std::size_t>(n));
+  std::vector<std::size_t> sendoff(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> recvoff(static_cast<std::size_t>(n) + 1, 0);
+  for (int r = 0; r < n; ++r) {
+    sendoff[static_cast<std::size_t>(r) + 1] = sendoff[static_cast<std::size_t>(r)] + sendbytes[static_cast<std::size_t>(r)];
+    recvoff[static_cast<std::size_t>(r) + 1] = recvoff[static_cast<std::size_t>(r)] + recvbytes[static_cast<std::size_t>(r)];
+  }
+  const auto* in = static_cast<const std::uint8_t*>(sendbuf);
+  auto* out = static_cast<std::uint8_t*>(recvbuf);
+  std::memcpy(out + recvoff[static_cast<std::size_t>(rank_)], in + sendoff[static_cast<std::size_t>(rank_)],
+              sendbytes[static_cast<std::size_t>(rank_)]);
+  for (int i = 1; i < n; ++i) {
+    const int to = (rank_ + i) % n;
+    const int from = (rank_ - i + n) % n;
+    sendrecv(in + sendoff[static_cast<std::size_t>(to)], sendbytes[static_cast<std::size_t>(to)], to, kTagAlltoall + i,
+             out + recvoff[static_cast<std::size_t>(from)], recvbytes[static_cast<std::size_t>(from)], from,
+             kTagAlltoall + i);
+  }
+}
+
+}  // namespace now::mpi

@@ -1,0 +1,33 @@
+// Reserved synchronization-object id ranges for the OpenMP runtime.
+//
+// The DSM identifies locks/semaphores/condvars by small integers with
+// statically assigned managers; the OpenMP layer carves the space so user
+// directives and runtime-internal objects never collide.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace now::omp {
+
+inline constexpr std::uint32_t kUserLockBase = 0;     // omp_set_lock-style
+inline constexpr std::uint32_t kCriticalBase = 64;    // named criticals
+inline constexpr std::uint32_t kCriticalSlots = 64;
+inline constexpr std::uint32_t kDynamicForLock = 128;  // dynamic schedule dispenser
+inline constexpr std::uint32_t kReductionLock = 129;   // reduction combine
+inline constexpr std::uint32_t kUserSemaBase = 0;
+inline constexpr std::uint32_t kUserCondBase = 0;
+
+// Stable name hash for `critical(name)`: FNV-1a folded into the critical
+// slot range.  An unnamed critical uses slot 0, like OpenMP's anonymous
+// critical section.
+constexpr std::uint32_t critical_lock_id(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return kCriticalBase + 1 + static_cast<std::uint32_t>(h % (kCriticalSlots - 1));
+}
+
+}  // namespace now::omp

@@ -1,0 +1,200 @@
+#include "ompcc/analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace now::ompcc {
+
+namespace {
+
+// Collects every call expression in a function body.
+void collect_calls(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::kCall) out.push_back(e);
+  collect_calls(e->lhs.get(), out);
+  collect_calls(e->rhs.get(), out);
+  collect_calls(e->operand.get(), out);
+  for (const auto& a : e->args) collect_calls(a.get(), out);
+}
+
+void walk_stmts(const Stmt* s, const std::function<void(const Stmt&)>& fn) {
+  if (s == nullptr) return;
+  fn(*s);
+  walk_stmts(s->then_body.get(), fn);
+  walk_stmts(s->else_body.get(), fn);
+  walk_stmts(s->for_init.get(), fn);
+  walk_stmts(s->dir_body.get(), fn);
+  for (const auto& child : s->body) walk_stmts(child.get(), fn);
+}
+
+void collect_calls_in_fn(const Function& fn, std::vector<const Expr*>& out) {
+  walk_stmts(fn.body.get(), [&](const Stmt& s) {
+    collect_calls(s.expr.get(), out);
+    collect_calls(s.init.get(), out);
+    collect_calls(s.cond.get(), out);
+    collect_calls(s.for_step.get(), out);
+  });
+}
+
+}  // namespace
+
+AnalysisResult analyze(const Program& prog) {
+  AnalysisResult res;
+
+  std::map<std::string, const Function*> fn_by_name;
+  for (const auto& fn : prog.functions) fn_by_name[fn.name] = &fn;
+  std::set<std::string> global_names;
+  std::map<std::string, const GlobalVar*> global_by_name;
+  for (const auto& g : prog.globals) {
+    global_names.insert(g.name);
+    global_by_name[g.name] = &g;
+  }
+
+  // ---- call graph + callee-first (reverse topological) order ----
+  std::map<std::string, std::set<std::string>> callees;
+  for (const auto& fn : prog.functions) {
+    std::vector<const Expr*> calls;
+    collect_calls_in_fn(fn, calls);
+    for (const Expr* c : calls)
+      if (fn_by_name.count(c->text)) callees[fn.name].insert(c->text);
+  }
+  {
+    std::set<std::string> done, visiting;
+    std::function<void(const std::string&)> visit = [&](const std::string& f) {
+      if (done.count(f)) return;
+      if (visiting.count(f)) {
+        res.errors.push_back("recursion involving '" + f +
+                             "' is outside the supported subset");
+        return;
+      }
+      visiting.insert(f);
+      for (const auto& callee : callees[f]) visit(callee);
+      visiting.erase(f);
+      done.insert(f);
+      res.callee_first_order.push_back(f);
+    };
+    for (const auto& fn : prog.functions) visit(fn.name);
+  }
+  if (!res.ok()) return res;
+
+  // ---- seed: directive clauses name shared / private variables ----
+  // Track, per function, which names its regions mark shared or private.
+  std::map<std::string, std::set<std::string>> marked_shared_in;
+  std::map<std::string, std::set<std::string>> marked_private_in;
+  for (const auto& fn : prog.functions) {
+    walk_stmts(fn.body.get(), [&](const Stmt& s) {
+      if (s.kind != Stmt::kParallel && s.kind != Stmt::kParallelFor) return;
+      for (const Clause& c : s.clauses) {
+        for (const std::string& v : c.vars) {
+          if (c.kind == Clause::kShared || c.kind == Clause::kReduction)
+            marked_shared_in[fn.name].insert(v);
+          else if (c.kind == Clause::kPrivate)
+            marked_private_in[fn.name].insert(v);
+          // firstprivate copies a value; it creates no shared location.
+        }
+      }
+    });
+  }
+
+  // ---- phase 1: callee-first propagation to actual arguments ----
+  // A formal parameter is shared if the function's own regions mark it
+  // shared, or it is passed (by reference) to a shared formal of a callee.
+  // Iterate in callee-first order so callee summaries exist when callers are
+  // examined; one pass suffices in the absence of recursion.
+  for (const std::string& fname : res.callee_first_order) {
+    const Function& fn = *fn_by_name.at(fname);
+    auto param_index = [&](const std::string& name) -> std::ptrdiff_t {
+      for (std::size_t i = 0; i < fn.params.size(); ++i)
+        if (fn.params[i].name == name) return static_cast<std::ptrdiff_t>(i);
+      return -1;
+    };
+
+    // Directly marked names.
+    for (const std::string& v : marked_shared_in[fname]) {
+      const std::ptrdiff_t pi = param_index(v);
+      if (pi >= 0)
+        res.shared_params[fname].insert(static_cast<std::size_t>(pi));
+      else if (global_names.count(v))
+        res.shared_globals.insert(v);
+      // A region-local variable marked shared stays function-local: it is
+      // hoisted per-region by codegen; nothing to propagate.
+    }
+
+    // Propagate through calls: actual arguments feeding shared formals.
+    std::vector<const Expr*> calls;
+    collect_calls_in_fn(fn, calls);
+    for (const Expr* call : calls) {
+      auto it = res.shared_params.find(call->text);
+      if (it == res.shared_params.end()) continue;
+      for (std::size_t ai : it->second) {
+        if (ai >= call->args.size()) continue;
+        const Expr* arg = call->args[ai].get();
+        // Pass-by-reference forms: the array/pointer itself, or &var.
+        const Expr* base = arg;
+        if (base->kind == Expr::kUnary && base->text == "&")
+          base = base->operand.get();
+        if (base->kind != Expr::kIdent) continue;
+        const std::ptrdiff_t pi = param_index(base->text);
+        if (pi >= 0)
+          res.shared_params[fname].insert(static_cast<std::size_t>(pi));
+        else if (global_names.count(base->text))
+          res.shared_globals.insert(base->text);
+      }
+    }
+  }
+
+  // Phase 1 may have discovered shared formals in callers after the caller
+  // was processed via direct clause marks only; repeat to a fixed point
+  // (bounded by the call-graph depth).
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const std::string& fname : res.callee_first_order) {
+      const Function& fn = *fn_by_name.at(fname);
+      std::vector<const Expr*> calls;
+      collect_calls_in_fn(fn, calls);
+      for (const Expr* call : calls) {
+        auto it = res.shared_params.find(call->text);
+        if (it == res.shared_params.end()) continue;
+        for (std::size_t ai : it->second) {
+          if (ai >= call->args.size()) continue;
+          const Expr* base = call->args[ai].get();
+          if (base->kind == Expr::kUnary && base->text == "&")
+            base = base->operand.get();
+          if (base->kind != Expr::kIdent) continue;
+          std::ptrdiff_t pi = -1;
+          for (std::size_t i = 0; i < fn.params.size(); ++i)
+            if (fn.params[i].name == base->text) pi = static_cast<std::ptrdiff_t>(i);
+          if (pi >= 0) {
+            if (res.shared_params[fname].insert(static_cast<std::size_t>(pi)).second)
+              changed = true;
+          } else if (global_names.count(base->text)) {
+            if (res.shared_globals.insert(base->text).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- phase 2: caller-first conflict detection ----
+  // A location both shared (phase 1) and private (some region's clause):
+  // pointers are an error; scalars are redeclared in the private region.
+  for (auto it = res.callee_first_order.rbegin();
+       it != res.callee_first_order.rend(); ++it) {
+    for (const std::string& v : marked_private_in[*it]) {
+      if (!res.shared_globals.count(v)) continue;
+      const GlobalVar* g = global_by_name.count(v) ? global_by_name.at(v) : nullptr;
+      if (g != nullptr && g->type.is_pointer_like() && !g->type.is_array) {
+        res.errors.push_back("variable '" + v +
+                             "' is a pointer declared both shared and private");
+      } else {
+        res.redeclared.insert(v);
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace now::ompcc

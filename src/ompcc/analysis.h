@@ -1,0 +1,47 @@
+// The paper's two-phase inter-procedural shared-variable analysis
+// (Section 4.3.1):
+//
+//   Phase 1 (callee-first): "infer the actual shared locations from the
+//   directives.  The subroutines are sorted so that a callee always appears
+//   before its callers ... If a pointer passed down the call chain is marked
+//   shared in the subroutine, this phase finds out the location it points
+//   to.  An actual parameter is marked shared if the variable is passed by
+//   reference and the corresponding formal parameter is already marked
+//   shared in the callee."
+//
+//   Phase 2 (caller-first): "find the locations that are declared both
+//   shared and private in different parallel regions. ... For variables
+//   marked both shared and private in different parallel regions, an error
+//   is given if the variable is a pointer.  Otherwise the variable is
+//   redeclared in the parallel region in which it is marked private."
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ompcc/ast.h"
+
+namespace now::ompcc {
+
+struct AnalysisResult {
+  // Globals that must live in the shared arena (named in shared/reduction
+  // clauses, or reached through a shared formal parameter).
+  std::set<std::string> shared_globals;
+  // Globals named in some region's private clause as well: phase 2's
+  // redeclaration set (per region they stay thread-local).
+  std::set<std::string> redeclared;
+  // Per function: indices of formal parameters that refer to shared storage.
+  std::map<std::string, std::set<std::size_t>> shared_params;
+  // Functions in callee-first order (the phase-1 processing order).
+  std::vector<std::string> callee_first_order;
+  // Human-readable diagnostics for rejected programs.
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+AnalysisResult analyze(const Program& prog);
+
+}  // namespace now::ompcc

@@ -1,0 +1,111 @@
+// AST for the ompcc input language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace now::ompcc {
+
+// ---- types ----
+struct Type {
+  enum Base { kInt, kLong, kDouble, kVoid } base = kInt;
+  int pointer_depth = 0;  // number of '*'
+  bool is_array = false;
+  std::int64_t array_size = 0;
+
+  bool is_pointer_like() const { return pointer_depth > 0 || is_array; }
+  std::string cpp() const;      // C++ spelling of the element/base type
+};
+
+// ---- expressions ----
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum Kind {
+    kIntLit, kFloatLit, kIdent, kBinary, kUnary, kAssign, kCall, kIndex,
+  } kind = kIntLit;
+
+  // literals / identifier
+  std::string text;
+  // binary / assign: op in text ("+", "==", "=", "+=", ...)
+  ExprPtr lhs, rhs;
+  // unary: op in text ("-", "!", "*", "&", "++", "--")
+  ExprPtr operand;
+  // call: callee name in text
+  std::vector<ExprPtr> args;
+
+  std::int64_t line = 0;
+};
+
+// ---- directives ----
+struct Clause {
+  enum Kind { kShared, kPrivate, kFirstPrivate, kReduction } kind = kShared;
+  std::string reduction_op;        // for kReduction ("+")
+  std::vector<std::string> vars;
+};
+
+// ---- statements ----
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum Kind {
+    kDecl, kExpr, kIf, kWhile, kFor, kReturn, kBlock,
+    kParallel, kParallelFor, kCritical, kBarrier, kSemaWait, kSemaSignal,
+    kCondWait, kCondSignal, kCondBroadcast, kFlush,
+  } kind = kExpr;
+
+  // kDecl
+  Type decl_type;
+  std::string decl_name;
+  ExprPtr init;
+
+  // kExpr / kReturn
+  ExprPtr expr;
+
+  // kIf / kWhile / kFor
+  ExprPtr cond;
+  StmtPtr then_body, else_body;
+  StmtPtr for_init;  // kFor
+  ExprPtr for_step;
+
+  // kBlock / directive bodies
+  std::vector<StmtPtr> body;
+
+  // directives
+  std::vector<Clause> clauses;   // kParallel / kParallelFor
+  std::string critical_name;    // kCritical ("" = anonymous)
+  std::int64_t sync_id = 0;      // sema/cond id
+  StmtPtr dir_body;              // structured block / the for statement
+
+  std::int64_t line = 0;
+};
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct Function {
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;  // kBlock
+  std::int64_t line = 0;
+};
+
+struct GlobalVar {
+  Type type;
+  std::string name;
+  ExprPtr init;
+  std::int64_t line = 0;
+};
+
+struct Program {
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace now::ompcc

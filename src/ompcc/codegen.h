@@ -1,0 +1,37 @@
+// Code generation: translates the analyzed program into C++ targeting the
+// now::omp runtime (Section 4.3.2's transformation).
+//
+// "Our compiler translates the sequential program annotated with a subset of
+//  OpenMP directives into a fork-join parallel program.  The compiler
+//  encapsulates each parallel region into a separate subroutine ...
+//  Pointers to shared variables and initial values of firstprivate variables
+//  are copied into a structure and passed at fork."
+//
+// In the emitted C++, the region subroutine is a trivially-copyable lambda
+// (the now::omp runtime byte-copies its capture block through the Tmk_fork
+// message) and shared variables are gptrs into the DSM arena.  Variables are
+// private by default: anything not named shared stays in per-thread memory.
+#pragma once
+
+#include <string>
+
+#include "ompcc/analysis.h"
+#include "ompcc/ast.h"
+
+namespace now::ompcc {
+
+struct CodegenOptions {
+  std::uint32_t default_nodes = 4;  // overridable via NOW_NODES at runtime
+};
+
+// Emits a complete C++ translation unit.  The program must have passed
+// analysis (no errors).
+std::string generate(const Program& prog, const AnalysisResult& analysis,
+                     const CodegenOptions& opts = {});
+
+// Convenience: lex + parse + analyze + generate.  Returns false (with
+// `errors` filled) when analysis rejects the program.
+bool translate(const std::string& source, std::string& out_cpp,
+               std::vector<std::string>& errors, const CodegenOptions& opts = {});
+
+}  // namespace now::ompcc

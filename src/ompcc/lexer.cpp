@@ -1,0 +1,176 @@
+#include "ompcc/token.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace now::ompcc {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer";
+    case Tok::kFloatLit: return "float";
+    case Tok::kStrLit: return "string";
+    case Tok::kInt: return "int";
+    case Tok::kLong: return "long";
+    case Tok::kDouble: return "double";
+    case Tok::kVoid: return "void";
+    case Tok::kIf: return "if";
+    case Tok::kElse: return "else";
+    case Tok::kWhile: return "while";
+    case Tok::kFor: return "for";
+    case Tok::kReturn: return "return";
+    case Tok::kPragma: return "#pragma omp";
+    case Tok::kPragmaEnd: return "<end of pragma>";
+    default: return "<punct>";
+  }
+}
+
+namespace {
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"int", Tok::kInt},     {"long", Tok::kLong}, {"double", Tok::kDouble},
+    {"void", Tok::kVoid},   {"if", Tok::kIf},     {"else", Tok::kElse},
+    {"while", Tok::kWhile}, {"for", Tok::kFor},   {"return", Tok::kReturn},
+};
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::int64_t line = 1;
+  bool in_pragma = false;
+
+  auto push = [&](Tok k, std::string text = "") {
+    out.push_back(Token{k, std::move(text), line});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      if (in_pragma) {
+        push(Tok::kPragmaEnd);
+        in_pragma = false;
+      }
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      NOW_CHECK(i + 1 < src.size()) << "unterminated comment at line " << line;
+      i += 2;
+      continue;
+    }
+    if (c == '#') {
+      // Expect "#pragma omp"; anything else is unsupported.
+      static const std::string kIntro = "#pragma";
+      NOW_CHECK_EQ(src.compare(i, kIntro.size(), kIntro), 0)
+          << "unsupported preprocessor line at " << line;
+      i += kIntro.size();
+      while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
+      static const std::string kOmp = "omp";
+      NOW_CHECK_EQ(src.compare(i, kOmp.size(), kOmp), 0)
+          << "only '#pragma omp' is supported (line " << line << ")";
+      i += kOmp.size();
+      push(Tok::kPragma);
+      in_pragma = true;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_'))
+        ++j;
+      std::string word = src.substr(i, j - i);
+      i = j;
+      auto it = kKeywords.find(word);
+      if (it != kKeywords.end())
+        push(it->second, word);
+      else
+        push(Tok::kIdent, std::move(word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[j])) || src[j] == '.' ||
+              src[j] == 'e' || src[j] == 'E' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        if (src[j] == '.' || src[j] == 'e' || src[j] == 'E') is_float = true;
+        ++j;
+      }
+      push(is_float ? Tok::kFloatLit : Tok::kIntLit, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != '"') ++j;
+      NOW_CHECK(j < src.size()) << "unterminated string at line " << line;
+      push(Tok::kStrLit, src.substr(i + 1, j - i - 1));
+      i = j + 1;
+      continue;
+    }
+
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('=', '=')) { push(Tok::kEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNe); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::kLe); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::kOrOr); i += 2; continue; }
+    if (two('+', '+')) { push(Tok::kPlusPlus); i += 2; continue; }
+    if (two('-', '-')) { push(Tok::kMinusMinus); i += 2; continue; }
+    if (two('+', '=')) { push(Tok::kPlusAssign); i += 2; continue; }
+    if (two('-', '=')) { push(Tok::kMinusAssign); i += 2; continue; }
+
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case ';': push(Tok::kSemi); break;
+      case ',': push(Tok::kComma); break;
+      case ':': push(Tok::kColon); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '&': push(Tok::kAmp); break;
+      case '<': push(Tok::kLt); break;
+      case '>': push(Tok::kGt); break;
+      case '!': push(Tok::kNot); break;
+      default:
+        NOW_CHECK(false) << "unexpected character '" << c << "' at line " << line;
+    }
+    ++i;
+  }
+  if (in_pragma) push(Tok::kPragmaEnd);
+  push(Tok::kEof);
+  return out;
+}
+
+}  // namespace now::ompcc

@@ -1,0 +1,57 @@
+// ompcc: OpenMP-subset source-to-source translator.
+//
+//   ompcc input.c [-o output.cpp] [--nodes N]
+//
+// Translates a C-subset program annotated with the paper's directives into
+// C++ that targets the now::omp runtime on the TreadMarks-like DSM.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ompcc/codegen.h"
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  now::ompcc::CodegenOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      output = argv[++i];
+    } else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc) {
+      opts.default_nodes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "usage: ompcc input.c [-o output.cpp] [--nodes N]\n");
+      return 2;
+    } else {
+      input = argv[i];
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "ompcc: no input file\n");
+    return 2;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "ompcc: cannot open %s\n", input.c_str());
+    return 2;
+  }
+  std::ostringstream src;
+  src << in.rdbuf();
+
+  std::string cpp;
+  std::vector<std::string> errors;
+  if (!now::ompcc::translate(src.str(), cpp, errors, opts)) {
+    for (const auto& e : errors) std::fprintf(stderr, "ompcc: error: %s\n", e.c_str());
+    return 1;
+  }
+
+  if (output.empty()) {
+    std::fputs(cpp.c_str(), stdout);
+  } else {
+    std::ofstream out(output);
+    out << cpp;
+  }
+  return 0;
+}

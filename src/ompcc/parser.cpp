@@ -1,0 +1,431 @@
+#include "ompcc/parser.h"
+
+#include "common/check.h"
+
+namespace now::ompcc {
+
+std::string Type::cpp() const {
+  std::string s;
+  switch (base) {
+    case kInt: s = "std::int32_t"; break;
+    case kLong: s = "std::int64_t"; break;
+    case kDouble: s = "double"; break;
+    case kVoid: s = "void"; break;
+  }
+  for (int i = 0; i < pointer_depth; ++i) s += '*';
+  return s;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& toks) : toks_(toks) {}
+
+  Program parse_program() {
+    Program prog;
+    while (!at(Tok::kEof)) {
+      // Global declarations: type ident ( '(' -> function, else variable ).
+      Type t = parse_type();
+      const std::string name = expect(Tok::kIdent).text;
+      if (at(Tok::kLParen)) {
+        prog.functions.push_back(parse_function(t, name));
+      } else {
+        GlobalVar g;
+        g.type = t;
+        g.name = name;
+        g.line = cur().line;
+        if (accept(Tok::kLBracket)) {
+          g.type.is_array = true;
+          g.type.array_size = std::stoll(expect(Tok::kIntLit).text);
+          expect(Tok::kRBracket);
+        }
+        if (accept(Tok::kAssign)) g.init = parse_expr();
+        expect(Tok::kSemi);
+        prog.globals.push_back(std::move(g));
+      }
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  const Token& advance() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(Tok k) {
+    NOW_CHECK(at(k)) << "line " << cur().line << ": expected " << tok_name(k)
+                     << ", found " << tok_name(cur().kind) << " '" << cur().text
+                     << "'";
+    return advance();
+  }
+  bool at_type() const {
+    return at(Tok::kInt) || at(Tok::kLong) || at(Tok::kDouble) || at(Tok::kVoid);
+  }
+
+  Type parse_type() {
+    Type t;
+    if (accept(Tok::kInt)) t.base = Type::kInt;
+    else if (accept(Tok::kLong)) t.base = Type::kLong;
+    else if (accept(Tok::kDouble)) t.base = Type::kDouble;
+    else if (accept(Tok::kVoid)) t.base = Type::kVoid;
+    else NOW_CHECK(false) << "line " << cur().line << ": expected a type";
+    while (accept(Tok::kStar)) ++t.pointer_depth;
+    return t;
+  }
+
+  Function parse_function(Type ret, const std::string& name) {
+    Function fn;
+    fn.return_type = ret;
+    fn.name = name;
+    fn.line = cur().line;
+    expect(Tok::kLParen);
+    if (!at(Tok::kRParen)) {
+      do {
+        Param p;
+        p.type = parse_type();
+        p.name = expect(Tok::kIdent).text;
+        if (accept(Tok::kLBracket)) {  // array parameter decays to pointer
+          expect(Tok::kRBracket);
+          p.type.pointer_depth += 1;
+        }
+        fn.params.push_back(std::move(p));
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRParen);
+    fn.body = parse_block();
+    return fn;
+  }
+
+  StmtPtr parse_block() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::kBlock;
+    s->line = cur().line;
+    expect(Tok::kLBrace);
+    while (!accept(Tok::kRBrace)) s->body.push_back(parse_stmt());
+    return s;
+  }
+
+  StmtPtr parse_stmt() {
+    if (at(Tok::kPragma)) return parse_pragma();
+    if (at(Tok::kLBrace)) return parse_block();
+    if (at_type()) return parse_decl();
+    if (accept(Tok::kIf)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::kIf;
+      s->line = cur().line;
+      expect(Tok::kLParen);
+      s->cond = parse_expr();
+      expect(Tok::kRParen);
+      s->then_body = parse_stmt();
+      if (accept(Tok::kElse)) s->else_body = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::kWhile)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::kWhile;
+      s->line = cur().line;
+      expect(Tok::kLParen);
+      s->cond = parse_expr();
+      expect(Tok::kRParen);
+      s->then_body = parse_stmt();
+      return s;
+    }
+    if (at(Tok::kFor)) return parse_for();
+    if (accept(Tok::kReturn)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::kReturn;
+      s->line = cur().line;
+      if (!at(Tok::kSemi)) s->expr = parse_expr();
+      expect(Tok::kSemi);
+      return s;
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::kExpr;
+    s->line = cur().line;
+    s->expr = parse_expr();
+    expect(Tok::kSemi);
+    return s;
+  }
+
+  StmtPtr parse_decl() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::kDecl;
+    s->line = cur().line;
+    s->decl_type = parse_type();
+    s->decl_name = expect(Tok::kIdent).text;
+    if (accept(Tok::kLBracket)) {
+      s->decl_type.is_array = true;
+      s->decl_type.array_size = std::stoll(expect(Tok::kIntLit).text);
+      expect(Tok::kRBracket);
+    }
+    if (accept(Tok::kAssign)) s->init = parse_expr();
+    expect(Tok::kSemi);
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::kFor;
+    s->line = cur().line;
+    expect(Tok::kFor);
+    expect(Tok::kLParen);
+    if (at_type()) {
+      s->for_init = parse_decl();  // consumes the ';'
+    } else if (!at(Tok::kSemi)) {
+      auto init = std::make_unique<Stmt>();
+      init->kind = Stmt::kExpr;
+      init->expr = parse_expr();
+      s->for_init = std::move(init);
+      expect(Tok::kSemi);
+    } else {
+      expect(Tok::kSemi);
+    }
+    if (!at(Tok::kSemi)) s->cond = parse_expr();
+    expect(Tok::kSemi);
+    if (!at(Tok::kRParen)) s->for_step = parse_expr();
+    expect(Tok::kRParen);
+    s->then_body = parse_stmt();
+    return s;
+  }
+
+  // ---- directives ----
+  StmtPtr parse_pragma() {
+    expect(Tok::kPragma);
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    const std::string what = expect(Tok::kIdent).text;
+    if (what == "parallel") {
+      if (at(Tok::kFor)) {
+        advance();
+        s->kind = Stmt::kParallelFor;
+        parse_clauses(*s);
+        expect(Tok::kPragmaEnd);
+        s->dir_body = parse_for();
+        return s;
+      }
+      s->kind = Stmt::kParallel;
+      parse_clauses(*s);
+      expect(Tok::kPragmaEnd);
+      s->dir_body = parse_block();
+      return s;
+    }
+    if (what == "critical") {
+      s->kind = Stmt::kCritical;
+      if (accept(Tok::kLParen)) {
+        s->critical_name = expect(Tok::kIdent).text;
+        expect(Tok::kRParen);
+      }
+      expect(Tok::kPragmaEnd);
+      s->dir_body = parse_block();
+      return s;
+    }
+    if (what == "barrier") {
+      s->kind = Stmt::kBarrier;
+      expect(Tok::kPragmaEnd);
+      return s;
+    }
+    if (what == "flush") {
+      s->kind = Stmt::kFlush;
+      expect(Tok::kPragmaEnd);
+      return s;
+    }
+    auto id_directive = [&](Stmt::Kind kind) {
+      s->kind = kind;
+      expect(Tok::kLParen);
+      s->sync_id = std::stoll(expect(Tok::kIntLit).text);
+      expect(Tok::kRParen);
+      expect(Tok::kPragmaEnd);
+    };
+    if (what == "sema_wait") { id_directive(Stmt::kSemaWait); return s; }
+    if (what == "sema_signal") { id_directive(Stmt::kSemaSignal); return s; }
+    if (what == "cond_wait") { id_directive(Stmt::kCondWait); return s; }
+    if (what == "cond_signal") { id_directive(Stmt::kCondSignal); return s; }
+    if (what == "cond_broadcast") { id_directive(Stmt::kCondBroadcast); return s; }
+    NOW_CHECK(false) << "line " << s->line << ": unknown directive '" << what << "'";
+  }
+
+  void parse_clauses(Stmt& s) {
+    while (at(Tok::kIdent)) {
+      Clause c;
+      const std::string kw = advance().text;
+      if (kw == "shared") c.kind = Clause::kShared;
+      else if (kw == "private") c.kind = Clause::kPrivate;
+      else if (kw == "firstprivate") c.kind = Clause::kFirstPrivate;
+      else if (kw == "reduction") c.kind = Clause::kReduction;
+      else NOW_CHECK(false) << "line " << cur().line << ": unknown clause '" << kw << "'";
+      expect(Tok::kLParen);
+      if (c.kind == Clause::kReduction) {
+        NOW_CHECK(accept(Tok::kPlus)) << "line " << cur().line
+                                      << ": only reduction(+:...) is supported";
+        c.reduction_op = "+";
+        expect(Tok::kColon);
+      }
+      do {
+        c.vars.push_back(expect(Tok::kIdent).text);
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen);
+      s.clauses.push_back(std::move(c));
+    }
+  }
+
+  // ---- expressions (precedence climbing) ----
+  ExprPtr parse_expr() { return parse_assign(); }
+
+  ExprPtr parse_assign() {
+    ExprPtr lhs = parse_or();
+    if (at(Tok::kAssign) || at(Tok::kPlusAssign) || at(Tok::kMinusAssign)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kAssign;
+      e->line = cur().line;
+      e->text = at(Tok::kAssign) ? "=" : at(Tok::kPlusAssign) ? "+=" : "-=";
+      advance();
+      e->lhs = std::move(lhs);
+      e->rhs = parse_assign();
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr binary(const char* op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::kBinary;
+    e->text = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr l = parse_and();
+    while (accept(Tok::kOrOr)) l = binary("||", std::move(l), parse_and());
+    return l;
+  }
+  ExprPtr parse_and() {
+    ExprPtr l = parse_cmp();
+    while (accept(Tok::kAndAnd)) l = binary("&&", std::move(l), parse_cmp());
+    return l;
+  }
+  ExprPtr parse_cmp() {
+    ExprPtr l = parse_add();
+    for (;;) {
+      if (accept(Tok::kEq)) l = binary("==", std::move(l), parse_add());
+      else if (accept(Tok::kNe)) l = binary("!=", std::move(l), parse_add());
+      else if (accept(Tok::kLt)) l = binary("<", std::move(l), parse_add());
+      else if (accept(Tok::kGt)) l = binary(">", std::move(l), parse_add());
+      else if (accept(Tok::kLe)) l = binary("<=", std::move(l), parse_add());
+      else if (accept(Tok::kGe)) l = binary(">=", std::move(l), parse_add());
+      else return l;
+    }
+  }
+  ExprPtr parse_add() {
+    ExprPtr l = parse_mul();
+    for (;;) {
+      if (accept(Tok::kPlus)) l = binary("+", std::move(l), parse_mul());
+      else if (accept(Tok::kMinus)) l = binary("-", std::move(l), parse_mul());
+      else return l;
+    }
+  }
+  ExprPtr parse_mul() {
+    ExprPtr l = parse_unary();
+    for (;;) {
+      if (accept(Tok::kStar)) l = binary("*", std::move(l), parse_unary());
+      else if (accept(Tok::kSlash)) l = binary("/", std::move(l), parse_unary());
+      else if (accept(Tok::kPercent)) l = binary("%", std::move(l), parse_unary());
+      else return l;
+    }
+  }
+  ExprPtr parse_unary() {
+    auto unary = [&](const char* op) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::kUnary;
+      e->text = op;
+      e->line = cur().line;
+      e->operand = parse_unary();
+      return e;
+    };
+    if (accept(Tok::kMinus)) return unary("-");
+    if (accept(Tok::kNot)) return unary("!");
+    if (accept(Tok::kStar)) return unary("*");
+    if (accept(Tok::kAmp)) return unary("&");
+    if (accept(Tok::kPlusPlus)) return unary("++");
+    if (accept(Tok::kMinusMinus)) return unary("--");
+    return parse_postfix();
+  }
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    for (;;) {
+      if (accept(Tok::kLBracket)) {
+        auto idx = std::make_unique<Expr>();
+        idx->kind = Expr::kIndex;
+        idx->lhs = std::move(e);
+        idx->rhs = parse_expr();
+        expect(Tok::kRBracket);
+        e = std::move(idx);
+      } else if (at(Tok::kPlusPlus) || at(Tok::kMinusMinus)) {
+        // Postfix increment: normalize to the prefix form (value unused in
+        // our subset's statement contexts).
+        auto u = std::make_unique<Expr>();
+        u->kind = Expr::kUnary;
+        u->text = at(Tok::kPlusPlus) ? "++" : "--";
+        advance();
+        u->operand = std::move(e);
+        e = std::move(u);
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    if (at(Tok::kIntLit)) {
+      e->kind = Expr::kIntLit;
+      e->text = advance().text;
+      return e;
+    }
+    if (at(Tok::kFloatLit)) {
+      e->kind = Expr::kFloatLit;
+      e->text = advance().text;
+      return e;
+    }
+    if (accept(Tok::kLParen)) {
+      ExprPtr inner = parse_expr();
+      expect(Tok::kRParen);
+      return inner;
+    }
+    const std::string name = expect(Tok::kIdent).text;
+    if (accept(Tok::kLParen)) {
+      e->kind = Expr::kCall;
+      e->text = name;
+      if (!at(Tok::kRParen)) {
+        do {
+          e->args.push_back(parse_expr());
+        } while (accept(Tok::kComma));
+      }
+      expect(Tok::kRParen);
+      return e;
+    }
+    e->kind = Expr::kIdent;
+    e->text = name;
+    return e;
+  }
+
+  const std::vector<Token>& toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::vector<Token>& tokens) {
+  Parser p(tokens);
+  return p.parse_program();
+}
+
+Program parse_source(const std::string& source) { return parse(lex(source)); }
+
+}  // namespace now::ompcc

@@ -1,0 +1,13 @@
+// Recursive-descent parser for the ompcc input language.
+#pragma once
+
+#include "ompcc/ast.h"
+#include "ompcc/token.h"
+
+namespace now::ompcc {
+
+// Parses a translation unit; aborts with a diagnostic on syntax errors.
+Program parse(const std::vector<Token>& tokens);
+Program parse_source(const std::string& source);
+
+}  // namespace now::ompcc

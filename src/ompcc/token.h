@@ -1,0 +1,42 @@
+// Tokens for the ompcc input language: a C subset with the paper's OpenMP
+// directives as `#pragma omp ...` lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace now::ompcc {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStrLit,
+  // keywords
+  kInt, kLong, kDouble, kVoid, kIf, kElse, kWhile, kFor, kReturn,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon,
+  kAssign, kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kEq, kNe, kLt, kGt, kLe, kGe, kAndAnd, kOrOr, kNot,
+  kPlusPlus, kMinusMinus, kPlusAssign, kMinusAssign,
+  // pragma introducer: the lexer folds "#pragma omp" into one token and then
+  // lexes the rest of the line normally, ending with kPragmaEnd.
+  kPragma,
+  kPragmaEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // identifier / literal spelling
+  std::int64_t line = 1;
+};
+
+const char* tok_name(Tok t);
+
+// Lexes a whole translation unit; aborts with a diagnostic on bad input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace now::ompcc

@@ -1,0 +1,68 @@
+// Blocking per-node message queue (the simulated NIC receive ring).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "simnet/message.h"
+
+namespace now::sim {
+
+class Mailbox {
+ public:
+  void push(Message&& m) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(m));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until a message is available or the mailbox is closed.
+  std::optional<Message> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  std::optional<Message> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  // Wakes all blocked poppers; subsequent pops drain the queue then return
+  // nullopt.  Used for orderly node shutdown.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace now::sim

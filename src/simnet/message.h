@@ -1,0 +1,21 @@
+// Typed messages exchanged between simulated workstations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace now::sim {
+
+using NodeId = std::uint32_t;
+
+struct Message {
+  std::uint16_t type = 0;   // protocol-defined discriminator (opaque here)
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t seq = 0;    // RPC matching token (0 = not a reply)
+  std::uint64_t send_ts_ns = 0;    // sender's virtual clock at send
+  std::uint64_t arrive_ts_ns = 0;  // send_ts + modeled transit (set by Network)
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace now::sim

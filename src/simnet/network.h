@@ -1,0 +1,76 @@
+// The simulated network of workstations: n nodes, each with a mailbox,
+// connected by a switched full-duplex link priced by a NetworkModel.
+//
+// Delivery is reliable and per-sender FIFO (queues), mirroring what the
+// TreadMarks UDP layer provides after its retransmission protocol and what
+// TCP provides for MPICH.  Virtual timestamps ride on every message so the
+// receiving protocol layer can advance its node clock to the arrival time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "simnet/mailbox.h"
+#include "simnet/message.h"
+#include "simnet/model.h"
+#include "simnet/traffic.h"
+
+namespace now::sim {
+
+class Network {
+ public:
+  Network(std::size_t num_nodes, NetworkModel model)
+      : model_(model), mailboxes_(num_nodes) {
+    for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
+  }
+
+  std::size_t num_nodes() const { return mailboxes_.size(); }
+  const NetworkModel& model() const { return model_; }
+
+  // Posts a message.  The caller must have set src, dst, type and send_ts_ns
+  // (its virtual clock).  Self-sends are allowed (a node's own barrier
+  // arrival at its manager): they are local calls in the real system, so
+  // they cost a token local-delivery delay and never touch the wire
+  // counters.
+  void send(Message&& m) {
+    NOW_CHECK_LT(m.dst, mailboxes_.size())
+        << "bad destination for message type " << m.type << " from " << m.src;
+    if (m.src == m.dst) {
+      m.arrive_ts_ns = m.send_ts_ns + kLocalDeliveryNs;
+    } else {
+      m.arrive_ts_ns = m.send_ts_ns + model_.transit_ns(m.payload.size());
+      traffic_.record(m.type, m.payload.size(), model_.wire_bytes(m.payload.size()));
+    }
+    mailboxes_[m.dst]->push(std::move(m));
+  }
+
+  static constexpr std::uint64_t kLocalDeliveryNs = 1000;
+
+  // Blocking receive; returns nullopt once the node's mailbox is closed and
+  // drained (shutdown path).
+  std::optional<Message> recv(NodeId node) {
+    NOW_CHECK_LT(node, mailboxes_.size());
+    return mailboxes_[node]->pop();
+  }
+
+  std::optional<Message> try_recv(NodeId node) {
+    NOW_CHECK_LT(node, mailboxes_.size());
+    return mailboxes_[node]->try_pop();
+  }
+
+  void close_all() {
+    for (auto& m : mailboxes_) m->close();
+  }
+
+  TrafficSnapshot traffic() const { return traffic_.snapshot(); }
+  void reset_traffic() { traffic_.reset(); }
+
+ private:
+  NetworkModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  TrafficCounter traffic_;
+};
+
+}  // namespace now::sim

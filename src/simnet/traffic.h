@@ -1,0 +1,73 @@
+// Traffic accounting: message and byte counters per node and per message type.
+//
+// These counters are the measurement substrate for the paper's Table 2
+// ("Amount of data transmitted and number of messages in the OpenMP,
+// TreadMarks and MPI versions of the applications").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace now::sim {
+
+inline constexpr std::size_t kMaxMessageTypes = 64;
+
+struct TrafficSnapshot {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;  // payload + per-message protocol headers
+  std::array<std::uint64_t, kMaxMessageTypes> messages_by_type{};
+
+  double wire_mbytes() const {
+    return static_cast<double>(wire_bytes) / (1024.0 * 1024.0);
+  }
+
+  TrafficSnapshot& operator+=(const TrafficSnapshot& o) {
+    messages += o.messages;
+    payload_bytes += o.payload_bytes;
+    wire_bytes += o.wire_bytes;
+    for (std::size_t i = 0; i < kMaxMessageTypes; ++i)
+      messages_by_type[i] += o.messages_by_type[i];
+    return *this;
+  }
+};
+
+// Lock-free accumulation; sends happen on compute, service and manager paths
+// concurrently.
+class TrafficCounter {
+ public:
+  void record(std::uint16_t type, std::uint64_t payload, std::uint64_t wire) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_.fetch_add(payload, std::memory_order_relaxed);
+    wire_bytes_.fetch_add(wire, std::memory_order_relaxed);
+    if (type < kMaxMessageTypes)
+      by_type_[type].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  TrafficSnapshot snapshot() const {
+    TrafficSnapshot s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
+    s.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMaxMessageTypes; ++i)
+      s.messages_by_type[i] = by_type_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    messages_.store(0, std::memory_order_relaxed);
+    payload_bytes_.store(0, std::memory_order_relaxed);
+    wire_bytes_.store(0, std::memory_order_relaxed);
+    for (auto& c : by_type_) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<std::uint64_t> wire_bytes_{0};
+  std::array<std::atomic<std::uint64_t>, kMaxMessageTypes> by_type_{};
+};
+
+}  // namespace now::sim

@@ -1,0 +1,42 @@
+// Configuration for the TreadMarks-like DSM runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simnet/model.h"
+
+namespace now::tmk {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+using PageIndex = std::uint32_t;
+
+struct DsmConfig {
+  std::uint32_t num_nodes = 8;
+
+  // Size of the shared address space (per-node region size).  Must be a
+  // multiple of kPageSize.
+  std::size_t heap_bytes = std::size_t{64} << 20;
+
+  sim::NetworkModel net = sim::NetworkModel::udp_ethernet100();
+  sim::TimeModel time;
+
+  // Modeled CPU cost of protocol work, charged to virtual clocks.
+  double fault_overhead_us = 8.0;        // kernel trap + handler dispatch
+  double diff_create_base_us = 20.0;     // paper Sec. 6: "time to obtain a
+  double diff_create_per_kb_us = 12.0;   //  diff varies from ... to ..."
+  double diff_apply_per_kb_us = 6.0;
+  double twin_copy_us = 10.0;            // 4 KB page copy on 1998 hardware
+  double barrier_manager_us = 30.0;      // manager bookkeeping at departure
+
+  // When true, each service-thread request handled also injects a random
+  // short host-level delay, shaking out message-ordering assumptions in
+  // stress tests.  Never enabled in benchmarks.
+  bool stress_service_jitter = false;
+  std::uint64_t stress_seed = 1;
+
+  std::size_t num_pages() const { return heap_bytes / kPageSize; }
+};
+
+}  // namespace now::tmk

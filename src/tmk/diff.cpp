@@ -1,0 +1,76 @@
+#include "tmk/diff.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace now::tmk {
+
+DiffBytes diff_create(const std::uint8_t* twin, const std::uint8_t* current,
+                      std::size_t page_size, std::size_t merge_gap) {
+  DiffBytes out;
+  std::size_t i = 0;
+  while (i < page_size) {
+    if (twin[i] == current[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a run of differing bytes; extend across small equal gaps.
+    std::size_t start = i;
+    std::size_t end = i + 1;  // one past the last differing byte
+    std::size_t j = i + 1;
+    std::size_t equal_streak = 0;
+    while (j < page_size) {
+      if (twin[j] != current[j]) {
+        equal_streak = 0;
+        end = j + 1;
+      } else if (++equal_streak >= merge_gap) {
+        break;
+      }
+      ++j;
+    }
+    const std::size_t len = end - start;
+    NOW_CHECK_LE(len, 0xffffu);
+    const std::uint16_t off16 = static_cast<std::uint16_t>(start);
+    const std::uint16_t len16 = static_cast<std::uint16_t>(len);
+    out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&off16),
+               reinterpret_cast<const std::uint8_t*>(&off16) + 2);
+    out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&len16),
+               reinterpret_cast<const std::uint8_t*>(&len16) + 2);
+    out.insert(out.end(), current + start, current + end);
+    i = end;
+  }
+  return out;
+}
+
+std::size_t diff_apply(std::uint8_t* page, std::size_t page_size, const DiffBytes& diff) {
+  std::size_t pos = 0;
+  std::size_t patched = 0;
+  while (pos < diff.size()) {
+    NOW_CHECK_LE(pos + 4, diff.size()) << "corrupt diff header";
+    std::uint16_t off, len;
+    std::memcpy(&off, diff.data() + pos, 2);
+    std::memcpy(&len, diff.data() + pos + 2, 2);
+    pos += 4;
+    NOW_CHECK_LE(pos + len, diff.size()) << "corrupt diff body";
+    NOW_CHECK_LE(static_cast<std::size_t>(off) + len, page_size) << "diff outside page";
+    std::memcpy(page + off, diff.data() + pos, len);
+    pos += len;
+    patched += len;
+  }
+  return patched;
+}
+
+std::size_t diff_patched_bytes(const DiffBytes& diff) {
+  std::size_t pos = 0;
+  std::size_t patched = 0;
+  while (pos + 4 <= diff.size()) {
+    std::uint16_t len;
+    std::memcpy(&len, diff.data() + pos + 2, 2);
+    pos += 4 + len;
+    patched += len;
+  }
+  return patched;
+}
+
+}  // namespace now::tmk

@@ -1,0 +1,31 @@
+// Run-length-encoded page diffs (the multiple-writer protocol's unit of
+// update transfer).
+//
+// A diff records the byte ranges of a page that differ from its twin.  Two
+// diffs made by concurrent writers of the same page touch disjoint ranges in
+// a data-race-free program, which is what lets TreadMarks merge them without
+// a coherence owner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace now::tmk {
+
+// Wire format: repeated { u16 offset, u16 length, length bytes }.
+using DiffBytes = std::vector<std::uint8_t>;
+
+// Encodes the ranges where `current` differs from `twin`.
+// Runs separated by fewer than `merge_gap` equal bytes are coalesced: the
+// 4-byte run header makes tiny gaps cheaper to ship than to split.
+DiffBytes diff_create(const std::uint8_t* twin, const std::uint8_t* current,
+                      std::size_t page_size, std::size_t merge_gap = 8);
+
+// Applies a diff in place.  Returns the number of bytes patched.
+std::size_t diff_apply(std::uint8_t* page, std::size_t page_size, const DiffBytes& diff);
+
+// Number of payload bytes a diff patches (sum of run lengths).
+std::size_t diff_patched_bytes(const DiffBytes& diff);
+
+}  // namespace now::tmk

@@ -1,0 +1,64 @@
+// Global pointers into the shared DSM address space.
+//
+// TreadMarks maps the shared heap at the same virtual address on every
+// workstation, so ordinary pointers are meaningful machine-to-machine.  Our
+// simulated workstations are threads whose regions live at different host
+// addresses, so a pointer stored *in* shared memory is represented as an
+// offset from the start of the shared address space and resolved through the
+// calling thread's node base.  gptr<T> is a trivially copyable value type and
+// is safe to store inside shared memory itself (task queues of gptrs, etc.).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace now::tmk {
+
+namespace detail {
+// Base address of the region owned by the node bound to the current thread.
+// Set by the runtime for compute threads; zero elsewhere.
+extern thread_local std::uint8_t* t_region_base;
+}  // namespace detail
+
+template <typename T>
+class gptr {
+ public:
+  gptr() = default;
+  explicit gptr(std::uint64_t offset) : offset_(offset) {}
+
+  static gptr null() { return gptr(kNullOffset); }
+  bool is_null() const { return offset_ == kNullOffset; }
+  explicit operator bool() const { return !is_null(); }
+
+  std::uint64_t offset() const { return offset_; }
+
+  // Resolve against the current thread's node region.
+  T* get() const {
+    return reinterpret_cast<T*>(detail::t_region_base + offset_);
+  }
+  std::add_lvalue_reference_t<T> operator*() const { return *get(); }
+  T* operator->() const { return get(); }
+  std::add_lvalue_reference_t<T> operator[](std::size_t i) const { return get()[i]; }
+
+  gptr operator+(std::ptrdiff_t n) const {
+    return gptr(offset_ + static_cast<std::uint64_t>(n * static_cast<std::ptrdiff_t>(sizeof(T))));
+  }
+  gptr& operator+=(std::ptrdiff_t n) { return *this = *this + n; }
+
+  template <typename U>
+  gptr<U> cast() const {
+    return gptr<U>(offset_);
+  }
+
+  friend bool operator==(gptr a, gptr b) { return a.offset_ == b.offset_; }
+  friend bool operator!=(gptr a, gptr b) { return a.offset_ != b.offset_; }
+
+ private:
+  static constexpr std::uint64_t kNullOffset = ~std::uint64_t{0};
+  std::uint64_t offset_ = kNullOffset;
+};
+
+static_assert(sizeof(gptr<int>) == 8, "gptr must be a plain offset");
+
+}  // namespace now::tmk

@@ -1,0 +1,100 @@
+#include "tmk/intervals.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace now::tmk {
+
+void IntervalRecord::serialize(ByteWriter& w) const {
+  w.u32(node);
+  w.u32(seq);
+  w.u64(lamport);
+  w.u32(static_cast<std::uint32_t>(pages.size()));
+  for (PageIndex p : pages) w.u32(p);
+}
+
+IntervalRecord IntervalRecord::deserialize(ByteReader& r) {
+  IntervalRecord rec;
+  rec.node = r.u32();
+  rec.seq = r.u32();
+  rec.lamport = r.u64();
+  const std::uint32_t n = r.u32();
+  rec.pages.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) rec.pages.push_back(r.u32());
+  return rec;
+}
+
+VectorTime KnowledgeLog::vt() const {
+  VectorTime out(per_node_.size());
+  for (std::size_t i = 0; i < per_node_.size(); ++i)
+    out[i] = per_node_[i].empty() ? 0 : per_node_[i].back().seq;
+  return out;
+}
+
+void KnowledgeLog::append_own(const IntervalRecord& rec) {
+  NOW_CHECK_LT(rec.node, per_node_.size());
+  auto& log = per_node_[rec.node];
+  NOW_CHECK_EQ(rec.seq, (log.empty() ? 0u : log.back().seq) + 1)
+      << "own interval sequence must be dense";
+  max_lamport_ = std::max(max_lamport_, rec.lamport);
+  log.push_back(rec);
+}
+
+std::vector<IntervalRecord> KnowledgeLog::merge(
+    const std::vector<IntervalRecord>& recs) {
+  std::vector<IntervalRecord> fresh;
+  for (const IntervalRecord& rec : recs) {
+    NOW_CHECK_LT(rec.node, per_node_.size());
+    auto& log = per_node_[rec.node];
+    const std::uint32_t have = log.empty() ? 0 : log.back().seq;
+    if (rec.seq <= have) continue;  // duplicate via another path
+    NOW_CHECK_EQ(rec.seq, have + 1)
+        << "gap in interval records for node " << rec.node
+        << ": have " << have << ", got " << rec.seq;
+    max_lamport_ = std::max(max_lamport_, rec.lamport);
+    log.push_back(rec);
+    fresh.push_back(rec);
+  }
+  return fresh;
+}
+
+std::vector<IntervalRecord> KnowledgeLog::delta_since(const VectorTime& since) const {
+  NOW_CHECK_EQ(since.size(), per_node_.size());
+  std::vector<IntervalRecord> out;
+  for (std::size_t n = 0; n < per_node_.size(); ++n) {
+    const auto& log = per_node_[n];
+    // Records are stored seq-ascending starting at 1, so the suffix after
+    // `since[n]` begins at index since[n].
+    for (std::size_t i = since[n]; i < log.size(); ++i) out.push_back(log[i]);
+  }
+  return out;
+}
+
+void KnowledgeLog::serialize_records(ByteWriter& w,
+                                     const std::vector<IntervalRecord>& recs) {
+  w.u32(static_cast<std::uint32_t>(recs.size()));
+  for (const auto& r : recs) r.serialize(w);
+}
+
+std::vector<IntervalRecord> KnowledgeLog::deserialize_records(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<IntervalRecord> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(IntervalRecord::deserialize(r));
+  return out;
+}
+
+void KnowledgeLog::serialize_vt(ByteWriter& w, const VectorTime& vt) {
+  w.u32(static_cast<std::uint32_t>(vt.size()));
+  for (std::uint32_t v : vt) w.u32(v);
+}
+
+VectorTime KnowledgeLog::deserialize_vt(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  VectorTime out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = r.u32();
+  return out;
+}
+
+}  // namespace now::tmk

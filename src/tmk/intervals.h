@@ -1,0 +1,79 @@
+// Interval records, vector times and per-node knowledge logs — the
+// consistency metadata of lazy release consistency.
+//
+// Every release ends an *interval* on the releasing node.  The interval's
+// record lists the pages the node dirtied (its write notices).  Lazy RC
+// requires that an acquirer learn, at acquire time, of every interval that
+// "happened before" the release it synchronizes with; nodes therefore carry
+// a log of all interval records they know about, exchange deltas on
+// synchronization, and invalidate the pages named by newly learned records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "tmk/config.h"
+
+namespace now::tmk {
+
+// Vector time: for each node, the highest interval sequence number known.
+// Interval sequence numbers are dense per node, starting at 1.
+using VectorTime = std::vector<std::uint32_t>;
+
+struct IntervalRecord {
+  std::uint32_t node = 0;     // origin (the writer)
+  std::uint32_t seq = 0;      // dense per-origin sequence, from 1
+  std::uint64_t lamport = 0;  // linear extension of happens-before
+  std::vector<PageIndex> pages;  // write notices
+
+  void serialize(ByteWriter& w) const;
+  static IntervalRecord deserialize(ByteReader& r);
+};
+
+// Append-only log of every interval record a node knows, ordered by (origin,
+// seq).  Deltas are contiguous suffixes per origin, so both delta extraction
+// and merging stay linear.
+class KnowledgeLog {
+ public:
+  explicit KnowledgeLog(std::uint32_t num_nodes) : per_node_(num_nodes) {}
+
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(per_node_.size()); }
+
+  // Highest sequence known per origin.
+  VectorTime vt() const;
+  std::uint32_t seq_of(std::uint32_t node) const {
+    return per_node_[node].empty() ? 0 : per_node_[node].back().seq;
+  }
+
+  // Appends a locally created record; seq must be the next in sequence.
+  void append_own(const IntervalRecord& rec);
+
+  // Merges foreign records, ignoring duplicates.  Records must extend the
+  // per-origin prefix contiguously (guaranteed by the suffix-delta exchange
+  // discipline; checked).  Returns copies of the newly added records so the
+  // caller can invalidate their pages (copies, not pointers: the log's
+  // storage reallocates as it grows).
+  std::vector<IntervalRecord> merge(const std::vector<IntervalRecord>& recs);
+
+  // All records with seq greater than `since[origin]`.
+  std::vector<IntervalRecord> delta_since(const VectorTime& since) const;
+
+  // Highest lamport value across all known records (0 if none).
+  std::uint64_t max_lamport() const { return max_lamport_; }
+
+  const std::vector<IntervalRecord>& records_of(std::uint32_t node) const {
+    return per_node_[node];
+  }
+
+  static void serialize_records(ByteWriter& w, const std::vector<IntervalRecord>& recs);
+  static std::vector<IntervalRecord> deserialize_records(ByteReader& r);
+  static void serialize_vt(ByteWriter& w, const VectorTime& vt);
+  static VectorTime deserialize_vt(ByteReader& r);
+
+ private:
+  std::vector<std::vector<IntervalRecord>> per_node_;
+  std::uint64_t max_lamport_ = 0;
+};
+
+}  // namespace now::tmk

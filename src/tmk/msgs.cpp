@@ -1,0 +1,34 @@
+#include "tmk/msgs.h"
+
+namespace now::tmk {
+
+const char* msg_type_name(std::uint16_t t) {
+  switch (t) {
+    case kFork: return "fork";
+    case kJoin: return "join";
+    case kShutdown: return "shutdown";
+    case kDiffRequest: return "diff_req";
+    case kDiffReply: return "diff_reply";
+    case kLockAcquire: return "lock_acquire";
+    case kLockForward: return "lock_forward";
+    case kLockGrant: return "lock_grant";
+    case kBarrierArrive: return "barrier_arrive";
+    case kBarrierDepart: return "barrier_depart";
+    case kSemaSignal: return "sema_signal";
+    case kSemaAck: return "sema_ack";
+    case kSemaWait: return "sema_wait";
+    case kSemaGrant: return "sema_grant";
+    case kCondWait: return "cond_wait";
+    case kCondSignal: return "cond_signal";
+    case kCondBroadcast: return "cond_broadcast";
+    case kFlushNotice: return "flush_notice";
+    case kFlushAck: return "flush_ack";
+    case kAllocRequest: return "alloc_req";
+    case kAllocReply: return "alloc_reply";
+    case kFreeRequest: return "free_req";
+    case kFreeAck: return "free_ack";
+    default: return "unknown";
+  }
+}
+
+}  // namespace now::tmk

@@ -1,0 +1,59 @@
+// DSM protocol message types.
+//
+// Payload layouts are defined next to their senders/handlers in node_*.cpp;
+// this header is the single registry of discriminators so traffic breakdowns
+// by type are interpretable.
+#pragma once
+
+#include <cstdint>
+
+namespace now::tmk {
+
+enum MsgType : std::uint16_t {
+  kInvalidMsg = 0,
+
+  // Fork-join (OpenMP-style master/slave execution)
+  kFork = 1,      // master -> slave: region fn + firstprivate blob + records
+  kJoin = 2,      // slave -> master: records (release at region end)
+  kShutdown = 3,  // master -> slave: leave the fork service loop
+
+  // Page consistency
+  kDiffRequest = 4,  // faulting node -> writer: page + wanted interval seqs
+  kDiffReply = 5,    // writer -> faulting node: diffs
+
+  // Locks (distributed queue: manager forwards to last requester)
+  kLockAcquire = 6,  // requester -> manager
+  kLockForward = 7,  // manager -> previous tail
+  kLockGrant = 8,    // previous holder (or manager) -> requester, + records
+
+  // Barriers (centralized manager)
+  kBarrierArrive = 9,   // node -> manager, + records (release)
+  kBarrierDepart = 10,  // manager -> node, + merged records (acquire)
+
+  // Semaphores (static manager; two messages per operation, as in the paper)
+  kSemaSignal = 11,  // signaler -> manager, + records (release)
+  kSemaAck = 12,     // manager -> signaler
+  kSemaWait = 13,    // waiter -> manager (acquire)
+  kSemaGrant = 14,   // manager -> waiter, + records
+
+  // Condition variables (queued at the associated lock's manager)
+  kCondWait = 15,       // waiter -> manager: releases lock, joins cond queue
+  kCondSignal = 16,     // signaler -> manager
+  kCondBroadcast = 17,  // signaler -> manager
+
+  // Flush (kept for the ablation study; the paper removes it): 2(n-1) msgs
+  kFlushNotice = 18,  // flusher -> every other node, + records
+  kFlushAck = 19,     // other node -> flusher
+
+  // Shared heap allocation (served by node 0)
+  kAllocRequest = 20,
+  kAllocReply = 21,
+  kFreeRequest = 22,
+  kFreeAck = 23,
+
+  kNumMsgTypes
+};
+
+const char* msg_type_name(std::uint16_t t);
+
+}  // namespace now::tmk

@@ -1,0 +1,221 @@
+// One simulated workstation: its page table, consistency metadata, manager
+// duties, compute-thread operations and protocol service thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "simnet/clock.h"
+#include "simnet/network.h"
+#include "tmk/config.h"
+#include "tmk/diff.h"
+#include "tmk/intervals.h"
+#include "tmk/msgs.h"
+#include "tmk/page.h"
+#include "tmk/rpc.h"
+#include "tmk/stats.h"
+
+namespace now::tmk {
+
+class Arena;
+class DsmRuntime;
+struct Tmk;
+
+// Signature of a forked parallel-region function.  `arg` points at a blob of
+// bytes copied through the fork message (the paper's "structure of pointers
+// to shared variables and initial values of firstprivate variables").
+using ForkFn = void (*)(Tmk&, const void* arg, std::size_t arg_size);
+
+class Node {
+ public:
+  Node(DsmRuntime& rt, std::uint32_t id);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  std::uint32_t id() const { return id_; }
+
+  // ---- lifecycle (called by the runtime) ----
+  void start_service();
+  void join_service();          // after the network is closed
+  void bind_compute_thread();   // binds TLS so gptr resolves to this region
+
+  // ---- compute-thread operations (the Tmk_* API) ----
+  void barrier();
+  void lock_acquire(std::uint32_t lock_id);
+  void lock_release(std::uint32_t lock_id);
+  void sema_wait(std::uint32_t sema_id);
+  void sema_signal(std::uint32_t sema_id);
+  void cond_wait(std::uint32_t lock_id, std::uint32_t cond_id);
+  void cond_signal(std::uint32_t lock_id, std::uint32_t cond_id);
+  void cond_broadcast(std::uint32_t lock_id, std::uint32_t cond_id);
+  void cond_notify(std::uint32_t lock_id, std::uint32_t cond_id, bool broadcast);
+  void flush();
+  std::uint64_t shared_malloc(std::size_t bytes, std::size_t align);
+  void shared_free(std::uint64_t offset);
+
+  // Fork-join, master side.
+  void fork_slaves(ForkFn fn, const void* arg, std::size_t arg_size);
+  void join_slaves();
+  void shutdown_slaves();
+  // Fork-join, slave side: returns false when a shutdown was received.
+  bool slave_serve_one(Tmk& tmk);
+
+  // ---- fault path (called from the SIGSEGV handler on the compute thread) ----
+  void handle_fault(void* addr);
+
+  sim::VirtualClock& clock() { return clock_; }
+  DsmStats& stats() { return stats_; }
+  // Prints lock-client and manager state to stderr (deadlock forensics).
+  void debug_dump();
+  // Charge accumulated compute time to the virtual clock.
+  void sync_cpu();
+
+ private:
+  // ---------- consistency engine (compute thread) ----------
+  // Ends the open interval at a release: appends the interval record with the
+  // dirty pages as write notices and write-protects them (diffs materialize
+  // lazily).  No-op when nothing was written.
+  void close_interval();
+  // Learns foreign interval records: appends unapplied notices and
+  // invalidates local copies (acquire side of lazy invalidate RC).
+  void merge_and_invalidate(const std::vector<IntervalRecord>& recs);
+  // Fetches and applies all unapplied diffs for a page (fault path).
+  void fetch_and_apply(PageIndex page, PageEntry& entry);
+  // Computes diff(twin, current) into the diff store and drops the twin.
+  // Caller holds entry.mu; page must be readable.
+  void materialize_twin(PageIndex page, PageEntry& entry);
+  void invalidate_page(PageIndex page, PageEntry& entry);  // holds entry.mu
+
+  // ---------- messaging ----------
+  enum class Cache { kNodeLog, kMgrLog };
+  // Delta of interval records the peer's node/manager log is missing,
+  // advancing the corresponding sent-cache.  `extra` (if given) is the
+  // receiver's declared vector time; records below it are skipped.
+  std::vector<IntervalRecord> take_delta_for(std::uint32_t peer, Cache which,
+                                             const VectorTime* extra);
+  void send_compute(sim::Message&& m);  // stamps the compute clock
+  void send_service(sim::Message&& m, std::uint64_t base_ts);  // service reply
+  sim::Message rpc_call(std::uint32_t dst, std::uint16_t type,
+                        std::vector<std::uint8_t> payload);
+  // Advances the clock past a blocking receive.
+  void arrive(const sim::Message& m);
+
+  // ---------- service thread ----------
+  void service_main();
+  void handle_message(sim::Message&& m);
+  void on_diff_request(sim::Message&& m);
+  void on_lock_acquire(sim::Message&& m);   // manager duty
+  void on_lock_forward(sim::Message&& m);   // holder duty
+  void on_barrier_arrive(sim::Message&& m); // manager duty (node 0)
+  void on_sema_signal(sim::Message&& m);    // manager duty
+  void on_sema_wait(sim::Message&& m);      // manager duty
+  void on_cond_wait(sim::Message&& m);      // manager duty
+  void on_cond_signal(sim::Message&& m, bool broadcast);  // manager duty
+  void on_flush_notice(sim::Message&& m);
+  void on_alloc_request(sim::Message&& m);  // node 0 duty
+  void on_free_request(sim::Message&& m);   // node 0 duty
+  // Starts a lock handoff toward `requester` (manager duty); used by both
+  // lock acquires and condvar wakeups.
+  void mgr_route_lock(std::uint32_t lock_id, std::uint32_t requester,
+                      const VectorTime& vt, std::uint64_t base_ts);
+  // Grants a lock from this node to `requester` (holder duty).
+  void grant_lock(std::uint32_t lock_id, std::uint32_t requester,
+                  const VectorTime& vt, std::uint64_t base_ts, bool from_service);
+
+  DsmRuntime& rt_;
+  const std::uint32_t id_;
+  const std::uint32_t num_nodes_;
+
+  sim::VirtualClock clock_;
+  sim::CpuMeter cpu_meter_;
+  DsmStats stats_;
+
+  // ---- page table ----
+  std::vector<PageEntry> pages_;
+  std::vector<PageIndex> dirty_pages_;  // open interval's writes (compute only)
+
+  // ---- diff store: (page, own interval seq) -> diff chunks ----
+  std::mutex store_mu_;
+  std::unordered_map<std::uint64_t, std::vector<DiffBytes>> diff_store_;
+
+  // ---- consistency metadata (meta_mu_) ----
+  std::mutex meta_mu_;
+  KnowledgeLog log_;
+  std::uint32_t own_seq_ = 0;      // last closed interval
+  std::uint64_t own_lamport_ = 0;  // lamport of last closed interval
+  std::vector<VectorTime> sent_node_vt_;  // per peer: what their node log has
+  std::vector<VectorTime> sent_mgr_vt_;   // per peer: what their mgr log has
+
+  // ---- lock client state (lock_client_mu_) ----
+  struct PendingGrant {
+    std::uint32_t requester = 0;
+    VectorTime vt;
+  };
+  struct LockClientState {
+    bool held = false;
+    bool cached = false;    // this node was the last holder
+    bool awaiting = false;  // compute thread is blocked acquiring
+    std::optional<PendingGrant> pending;
+  };
+  std::mutex lock_client_mu_;
+  std::unordered_map<std::uint32_t, LockClientState> lock_client_;
+  WaitSlot lock_grant_slot_;
+
+  // ---- manager state (service thread only) ----
+  struct LockMgrState {
+    bool ever_requested = false;
+    std::uint32_t tail = 0;  // last requester, valid if ever_requested
+  };
+  struct SemaWaiter {
+    std::uint32_t node = 0;
+    VectorTime vt;
+    std::uint64_t rpc_seq = 0;
+  };
+  struct SemaMgrState {
+    std::int64_t count = 0;
+    std::deque<SemaWaiter> waiters;
+  };
+  struct CondWaiter {
+    std::uint32_t node = 0;
+    VectorTime vt;
+  };
+  struct BarrierMgrState {
+    struct Arrival {
+      std::uint32_t node;
+      VectorTime vt;
+      std::uint64_t rpc_seq;
+      std::uint64_t arrive_ts;
+    };
+    std::vector<Arrival> arrivals;
+  };
+  struct MgrState {
+    explicit MgrState(std::uint32_t n) : log(n) {}
+    KnowledgeLog log;  // knowledge accumulated from releases routed via us
+    std::unordered_map<std::uint32_t, LockMgrState> locks;
+    std::unordered_map<std::uint32_t, SemaMgrState> semas;
+    std::unordered_map<std::uint64_t, std::deque<CondWaiter>> conds;  // (lock,cond)
+    BarrierMgrState barrier;
+  };
+  MgrState mgr_;
+
+  // ---- fork-join plumbing ----
+  WaitSlot fork_slot_;   // slave: next kFork / kShutdown
+  WaitSlot join_slot_;   // master: kJoin arrivals
+
+  RpcClient rpc_;
+  std::thread service_thread_;
+  Rng stress_rng_;
+
+  friend class DsmRuntime;
+};
+
+}  // namespace now::tmk

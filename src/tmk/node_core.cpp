@@ -1,0 +1,208 @@
+// Node lifecycle, consistency engine (intervals, merge/invalidate,
+// twin materialization) and messaging helpers.
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "tmk/arena.h"
+#include "tmk/node.h"
+#include "tmk/runtime.h"
+
+namespace now::tmk {
+
+namespace detail {
+thread_local std::uint8_t* t_region_base = nullptr;
+}  // namespace detail
+
+namespace {
+std::uint64_t diff_key(PageIndex page, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(page) << 32) | seq;
+}
+VectorTime vt_max(VectorTime a, const VectorTime& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
+  return a;
+}
+}  // namespace
+
+Node::Node(DsmRuntime& rt, std::uint32_t id)
+    : rt_(rt),
+      id_(id),
+      num_nodes_(rt.config().num_nodes),
+      pages_(rt.config().num_pages()),
+      log_(num_nodes_),
+      sent_node_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
+      sent_mgr_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
+      mgr_(num_nodes_),
+      stress_rng_(rt.config().stress_seed + id) {}
+
+Node::~Node() = default;
+
+void Node::start_service() {
+  service_thread_ = std::thread([this] { service_main(); });
+}
+
+void Node::join_service() {
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+void Node::bind_compute_thread() {
+  detail::t_region_base = rt_.arena().region_base(id_);
+  cpu_meter_.rebase();
+}
+
+void Node::sync_cpu() {
+  clock_.advance_ns(rt_.config().time.scale_ns(cpu_meter_.take_delta_ns()));
+}
+
+// ---------------------------------------------------------------------------
+// Consistency engine
+// ---------------------------------------------------------------------------
+
+void Node::close_interval() {
+  if (dirty_pages_.empty()) return;
+
+  std::sort(dirty_pages_.begin(), dirty_pages_.end());
+  dirty_pages_.erase(std::unique(dirty_pages_.begin(), dirty_pages_.end()),
+                     dirty_pages_.end());
+
+  IntervalRecord rec;
+  rec.node = id_;
+  rec.pages = dirty_pages_;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    own_lamport_ = std::max(own_lamport_, log_.max_lamport()) + 1;
+    rec.seq = ++own_seq_;
+    rec.lamport = own_lamport_;
+    log_.append_own(rec);
+  }
+
+  // Write-protect the interval's dirty pages so later writes fault and
+  // materialize this interval's diff before starting a new twin.
+  for (PageIndex page : dirty_pages_) {
+    PageEntry& e = pages_[page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (e.state == PageState::kWritable) {
+      rt_.arena().protect_read(id_, page);
+      e.state = PageState::kReadOnly;
+    }
+    // kInvalid: the page was invalidated mid-interval; its partial diff is
+    // already in the store under this interval's seq.
+  }
+  dirty_pages_.clear();
+  // Interval bookkeeping (mprotect syscalls) is protocol work, not app
+  // compute; close_interval only ever runs on the compute thread.
+  cpu_meter_.rebase();
+  NOW_LOG(kDebug, "node %u closed interval %u (%zu pages, first=%u)", id_,
+          rec.seq, rec.pages.size(), rec.pages.empty() ? 0 : rec.pages[0]);
+}
+
+void Node::merge_and_invalidate(const std::vector<IntervalRecord>& recs) {
+  std::vector<IntervalRecord> fresh;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    fresh = log_.merge(recs);
+  }
+  for (const IntervalRecord& rec : fresh) {
+    NOW_CHECK_NE(rec.node, id_) << "merged a record we authored";
+    for (PageIndex page : rec.pages) {
+      PageEntry& e = pages_[page];
+      std::lock_guard<std::mutex> lock(e.mu);
+      e.unapplied.push_back({rec.node, rec.seq, rec.lamport});
+      if (e.state != PageState::kInvalid) invalidate_page(page, e);
+    }
+  }
+  // Invalidation mprotects are protocol work, not application compute; when
+  // running on the compute thread, keep them out of the meter.  (The service
+  // thread also merges — flush/fork/join — but never owns the meter.)
+  if (detail::t_region_base == rt_.arena().region_base(id_)) cpu_meter_.rebase();
+}
+
+void Node::invalidate_page(PageIndex page, PageEntry& e) {
+  NOW_CHECK(e.state != PageState::kInvalid);
+  materialize_twin(page, e);  // no-op without a twin
+  rt_.arena().protect_none(id_, page);
+  e.state = PageState::kInvalid;
+  stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Node::materialize_twin(PageIndex page, PageEntry& e) {
+  if (!e.twin_valid) return;
+  NOW_CHECK(e.state != PageState::kInvalid) << "twin on an invalid page";
+  const std::uint8_t* current = rt_.arena().page_ptr(id_, page);
+  DiffBytes diff = diff_create(e.twin.data.get(), current, kPageSize);
+  const auto& cfg = rt_.config();
+  clock_.advance_us(cfg.diff_create_base_us +
+                    cfg.diff_create_per_kb_us *
+                        (static_cast<double>(diff.size()) / 1024.0));
+  stats_.diffs_created.fetch_add(1, std::memory_order_relaxed);
+  stats_.diff_bytes_created.fetch_add(diff.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    diff_store_[diff_key(page, e.twin.seq)].push_back(std::move(diff));
+  }
+  e.twin_valid = false;
+  e.twin.data.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Messaging helpers
+// ---------------------------------------------------------------------------
+
+std::vector<IntervalRecord> Node::take_delta_for(std::uint32_t peer, Cache which,
+                                                 const VectorTime* extra) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  VectorTime& cache =
+      (which == Cache::kNodeLog ? sent_node_vt_ : sent_mgr_vt_)[peer];
+  VectorTime base = extra ? vt_max(cache, *extra) : cache;
+  std::vector<IntervalRecord> delta = log_.delta_since(base);
+  if (log_enabled(LogLevel::kDebug)) {
+    NOW_LOG(kDebug,
+            "node %u: take_delta(peer=%u, %s): cache=[%u,%u] extra=[%u,%u] log=[%u,%u] -> %zu recs",
+            id_, peer, which == Cache::kNodeLog ? "node" : "mgr",
+            cache.empty() ? 0 : cache[0], cache.size() > 1 ? cache[1] : 0,
+            extra && !extra->empty() ? (*extra)[0] : 0,
+            extra && extra->size() > 1 ? (*extra)[1] : 0,
+            log_.seq_of(0), num_nodes_ > 1 ? log_.seq_of(1) : 0, delta.size());
+  }
+  cache = log_.vt();
+  return delta;
+}
+
+void Node::send_compute(sim::Message&& m) {
+  clock_.advance_us(rt_.config().net.send_overhead_us);
+  m.src = id_;
+  m.send_ts_ns = clock_.now_ns();
+  rt_.net().send(std::move(m));
+}
+
+void Node::send_service(sim::Message&& m, std::uint64_t base_ts) {
+  // Service replies depart after the modeled interrupt-service time; the
+  // interrupt also steals CPU from whatever the host node was computing.
+  const std::uint64_t overhead =
+      static_cast<std::uint64_t>(rt_.config().net.service_overhead_us * 1000.0);
+  m.src = id_;
+  m.send_ts_ns = base_ts + overhead;
+  rt_.net().send(std::move(m));
+}
+
+void Node::arrive(const sim::Message& m) {
+  clock_.advance_to_ns(m.arrive_ts_ns);
+  clock_.advance_us(rt_.config().net.recv_overhead_us);
+  cpu_meter_.rebase();
+}
+
+sim::Message Node::rpc_call(std::uint32_t dst, std::uint16_t type,
+                            std::vector<std::uint8_t> payload) {
+  const std::uint64_t tok = rpc_.begin();
+  sim::Message m;
+  m.type = type;
+  m.dst = dst;
+  m.seq = tok;
+  m.payload = std::move(payload);
+  send_compute(std::move(m));
+  sim::Message reply = rpc_.wait(tok);
+  arrive(reply);
+  return reply;
+}
+
+}  // namespace now::tmk

@@ -1,0 +1,196 @@
+// Page fault handling: access detection, cold zero-fills, diff fetch/apply
+// and write-twin creation.  Runs on the faulting node's compute thread, from
+// inside the SIGSEGV handler (the fault is synchronous, so this is an
+// ordinary function call context).
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "tmk/arena.h"
+#include "tmk/gptr.h"
+#include "tmk/node.h"
+#include "tmk/runtime.h"
+
+namespace now::tmk {
+
+void Node::handle_fault(void* addr) {
+  NOW_CHECK(detail::t_region_base == rt_.arena().region_base(id_))
+      << "shared memory of node " << id_
+      << " touched from a thread not bound to it";
+  // The compute stretch that ended in this fault includes the kernel's
+  // signal-delivery latency (large under sandboxed kernels).  Subtract the
+  // calibrated delivery cost so only application work is billed; the DSM's
+  // own fault cost is the modeled fault_overhead below.
+  {
+    std::uint64_t delta = cpu_meter_.take_delta_ns();
+    const std::uint64_t delivery = fault::fault_delivery_ns();
+    delta -= std::min(delta, delivery);
+    clock_.advance_ns(rt_.config().time.scale_ns(delta));
+  }
+  clock_.advance_us(rt_.config().fault_overhead_us);
+  // Host time spent inside the handler (sandboxed signal delivery, mprotect,
+  // twin copies) is NOT application compute: the protocol's costs are
+  // modeled explicitly, so the meter is re-based on every exit path.
+  struct RebaseOnExit {
+    sim::CpuMeter& meter;
+    ~RebaseOnExit() { meter.rebase(); }
+  } rebase_guard{cpu_meter_};
+
+  const PageIndex page = rt_.arena().page_of(addr);
+  PageEntry& e = pages_[page];
+  std::unique_lock<std::mutex> lock(e.mu);
+
+  switch (e.state) {
+    case PageState::kInvalid: {
+      stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
+      if (e.unapplied.empty()) {
+        // First touch of a never-written page: the zero-filled local copy is
+        // the correct initial contents — no communication, as in TreadMarks.
+        if (!e.ever_valid)
+          stats_.cold_zero_fills.fetch_add(1, std::memory_order_relaxed);
+        rt_.arena().protect_read(id_, page);
+        e.state = PageState::kReadOnly;
+        e.ever_valid = true;
+        return;  // a write access re-faults immediately and upgrades below
+      }
+      lock.unlock();
+      fetch_and_apply(page, e);
+      return;
+    }
+
+    case PageState::kReadOnly: {
+      // Reads cannot fault on PROT_READ, so this is a write upgrade.
+      stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
+      if (e.twin_valid && e.twin.seq <= own_seq_) {
+        // The pending twin belongs to an already-closed interval; its diff
+        // must be fixed before the page changes again.
+        materialize_twin(page, e);
+      }
+      if (!e.twin_valid) {
+        e.twin.data = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memcpy(e.twin.data.get(), rt_.arena().page_ptr(id_, page), kPageSize);
+        e.twin.seq = own_seq_ + 1;  // the open interval
+        e.twin_valid = true;
+        stats_.twins_created.fetch_add(1, std::memory_order_relaxed);
+        clock_.advance_us(rt_.config().twin_copy_us);
+        dirty_pages_.push_back(page);
+      }
+      rt_.arena().protect_rw(id_, page);
+      e.state = PageState::kWritable;
+      return;
+    }
+
+    case PageState::kWritable:
+      NOW_CHECK(false) << "fault on a writable page (node " << id_ << ", page "
+                       << page << ")";
+  }
+}
+
+void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
+  for (;;) {
+    std::vector<UnappliedNotice> want;
+    {
+      std::lock_guard<std::mutex> lock(e.mu);
+      if (e.unapplied.empty()) {
+        if (e.state == PageState::kInvalid) {
+          rt_.arena().protect_read(id_, page);
+          e.state = PageState::kReadOnly;
+          e.ever_valid = true;
+        }
+        return;
+      }
+      want = e.unapplied;
+    }
+
+    // One diff request per writer, issued in parallel (TreadMarks pipelines
+    // these to hide latency).
+    std::map<std::uint32_t, std::vector<std::uint32_t>> by_writer;
+    for (const auto& n : want) {
+      NOW_CHECK_NE(n.writer, id_) << "unapplied notice for our own interval";
+      by_writer[n.writer].push_back(n.seq);
+    }
+    struct Call {
+      std::uint64_t tok;
+      std::uint32_t writer;
+    };
+    std::vector<Call> calls;
+    calls.reserve(by_writer.size());
+    for (const auto& [writer, seqs] : by_writer) {
+      ByteWriter w;
+      w.u32(page);
+      w.u32(static_cast<std::uint32_t>(seqs.size()));
+      for (std::uint32_t s : seqs) w.u32(s);
+      const std::uint64_t tok = rpc_.begin();
+      sim::Message m;
+      m.type = kDiffRequest;
+      m.dst = writer;
+      m.seq = tok;
+      m.payload = w.take();
+      send_compute(std::move(m));
+      calls.push_back({tok, writer});
+    }
+    stats_.diff_fetches.fetch_add(calls.size(), std::memory_order_relaxed);
+
+    // (writer, seq) -> diff chunks, gathered from the replies.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<DiffBytes>> got;
+    for (const Call& c : calls) {
+      sim::Message reply = rpc_.wait(c.tok);
+      arrive(reply);
+      ByteReader r(reply.payload);
+      const PageIndex rpage = r.u32();
+      NOW_CHECK_EQ(rpage, page);
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t seq = r.u32();
+        const std::uint32_t nchunks = r.u32();
+        auto& chunks = got[{c.writer, seq}];
+        for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes());
+      }
+    }
+
+    // Apply in a linear extension of happens-before: lamport order, node id
+    // as the tie-break (ties are concurrent intervals whose diffs touch
+    // disjoint bytes in race-free programs).
+    std::stable_sort(want.begin(), want.end(),
+                     [](const UnappliedNotice& a, const UnappliedNotice& b) {
+                       if (a.lamport != b.lamport) return a.lamport < b.lamport;
+                       return a.writer < b.writer;
+                     });
+
+    std::lock_guard<std::mutex> lock(e.mu);
+    rt_.arena().protect_rw(id_, page);
+    std::uint8_t* mem = rt_.arena().page_ptr(id_, page);
+    std::size_t patched = 0;
+    std::uint64_t applied = 0;
+    for (const auto& n : want) {
+      auto it = got.find({n.writer, n.seq});
+      NOW_CHECK(it != got.end())
+          << "writer " << n.writer << " had no diff for page " << page
+          << " interval " << n.seq;
+      for (const DiffBytes& d : it->second) {
+        patched += diff_apply(mem, kPageSize, d);
+        ++applied;
+      }
+    }
+    stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
+    clock_.advance_us(rt_.config().diff_apply_per_kb_us *
+                      (static_cast<double>(patched) / 1024.0));
+
+    // Drop what we applied; the service thread may have appended more
+    // notices (a flush) while we were fetching — loop if so.
+    e.unapplied.erase(e.unapplied.begin(),
+                      e.unapplied.begin() + static_cast<std::ptrdiff_t>(want.size()));
+    if (e.unapplied.empty()) {
+      rt_.arena().protect_read(id_, page);
+      e.state = PageState::kReadOnly;
+      e.ever_valid = true;
+      return;
+    }
+    rt_.arena().protect_none(id_, page);
+    e.state = PageState::kInvalid;
+  }
+}
+
+}  // namespace now::tmk

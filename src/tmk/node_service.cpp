@@ -1,0 +1,168 @@
+// The protocol service thread: TreadMarks serviced remote requests from a
+// SIGIO handler; our simulated workstation dedicates a thread to the same
+// duty.  Every handler is strictly non-blocking (local state + sends only),
+// which is what makes the request/reply protocol deadlock-free.
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "tmk/arena.h"
+#include "tmk/node.h"
+#include "tmk/runtime.h"
+
+namespace now::tmk {
+
+namespace {
+std::uint64_t diff_key(PageIndex page, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(page) << 32) | seq;
+}
+}  // namespace
+
+void Node::service_main() {
+  while (auto m = rt_.net().recv(id_)) {
+    handle_message(std::move(*m));
+  }
+}
+
+void Node::handle_message(sim::Message&& m) {
+  switch (m.type) {
+    // Replies routed back to the blocked compute thread.
+    case kDiffReply:
+    case kBarrierDepart:
+    case kSemaAck:
+    case kSemaGrant:
+    case kFlushAck:
+    case kAllocReply:
+    case kFreeAck:
+      rpc_.fulfill(m.seq, std::move(m));
+      return;
+
+    // Unsolicited wakeups for the compute thread.
+    case kLockGrant:
+      lock_grant_slot_.post(std::move(m));
+      return;
+    // Fork and join consistency records must be merged NOW, in mailbox
+    // order: the sender's per-peer cache assumes everything it previously
+    // shipped us has been processed before its next message.  Deferring the
+    // merge to whenever the compute thread picks the slot up would let a
+    // later lock grant skip records we never saw.
+    case kFork: {
+      ByteReader r(m.payload);
+      r.u64();       // fn
+      (void)r.bytes();  // args
+      merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+      fork_slot_.post(std::move(m));
+      return;
+    }
+    case kShutdown:
+      fork_slot_.post(std::move(m));
+      return;
+    case kJoin: {
+      ByteReader r(m.payload);
+      merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+      join_slot_.post(std::move(m));
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Requests: model the interrupt stealing CPU from this workstation, and
+  // optionally jitter the host-level service order under stress testing.
+  if (rt_.config().stress_service_jitter) {
+    const auto us = stress_rng_.next_below(200);
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  clock_.advance_us(rt_.config().net.service_overhead_us);
+
+  switch (m.type) {
+    case kDiffRequest: on_diff_request(std::move(m)); return;
+    case kLockAcquire: on_lock_acquire(std::move(m)); return;
+    case kLockForward: on_lock_forward(std::move(m)); return;
+    case kBarrierArrive: on_barrier_arrive(std::move(m)); return;
+    case kSemaSignal: on_sema_signal(std::move(m)); return;
+    case kSemaWait: on_sema_wait(std::move(m)); return;
+    case kCondWait: on_cond_wait(std::move(m)); return;
+    case kCondSignal: on_cond_signal(std::move(m), /*broadcast=*/false); return;
+    case kCondBroadcast: on_cond_signal(std::move(m), /*broadcast=*/true); return;
+    case kFlushNotice: on_flush_notice(std::move(m)); return;
+    case kAllocRequest: on_alloc_request(std::move(m)); return;
+    case kFreeRequest: on_free_request(std::move(m)); return;
+    default:
+      NOW_CHECK(false) << "node " << id_ << ": unknown message type " << m.type;
+  }
+}
+
+void Node::on_diff_request(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const PageIndex page = r.u32();
+  const std::uint32_t n = r.u32();
+  std::vector<std::uint32_t> seqs(n);
+  for (auto& s : seqs) s = r.u32();
+
+  ByteWriter w;
+  w.u32(page);
+  w.u32(n);
+  for (std::uint32_t seq : seqs) {
+    // Materialize lazily if the interval's twin is still pending.  The page
+    // is at most PROT_READ for a closed interval, so its bytes are stable.
+    {
+      PageEntry& e = pages_[page];
+      std::lock_guard<std::mutex> lock(e.mu);
+      if (e.twin_valid && e.twin.seq == seq) materialize_twin(page, e);
+    }
+    std::lock_guard<std::mutex> lock(store_mu_);
+    auto it = diff_store_.find(diff_key(page, seq));
+    NOW_CHECK(it != diff_store_.end())
+        << "node " << id_ << " asked for missing diff: page " << page
+        << " interval " << seq;
+    w.u32(seq);
+    w.u32(static_cast<std::uint32_t>(it->second.size()));
+    for (const DiffBytes& d : it->second) w.bytes(d.data(), d.size());
+  }
+
+  sim::Message reply;
+  reply.type = kDiffReply;
+  reply.dst = m.src;
+  reply.seq = m.seq;
+  reply.payload = w.take();
+  send_service(std::move(reply), m.arrive_ts_ns);
+}
+
+void Node::on_flush_notice(sim::Message&& m) {
+  ByteReader r(m.payload);
+  auto records = KnowledgeLog::deserialize_records(r);
+  merge_and_invalidate(records);
+  sim::Message reply;
+  reply.type = kFlushAck;
+  reply.dst = m.src;
+  reply.seq = m.seq;
+  send_service(std::move(reply), m.arrive_ts_ns);
+}
+
+void Node::on_alloc_request(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint64_t bytes = r.u64();
+  const std::uint64_t align = r.u64();
+  const std::uint64_t offset = rt_.allocator_alloc(bytes, align);
+  ByteWriter w;
+  w.u64(offset);
+  sim::Message reply;
+  reply.type = kAllocReply;
+  reply.dst = m.src;
+  reply.seq = m.seq;
+  reply.payload = w.take();
+  send_service(std::move(reply), m.arrive_ts_ns);
+}
+
+void Node::on_free_request(sim::Message&& m) {
+  ByteReader r(m.payload);
+  rt_.allocator_free(r.u64());
+  sim::Message reply;
+  reply.type = kFreeAck;
+  reply.dst = m.src;
+  reply.seq = m.seq;
+  send_service(std::move(reply), m.arrive_ts_ns);
+}
+
+}  // namespace now::tmk

@@ -1,0 +1,591 @@
+// Synchronization: barriers (centralized manager), locks (distributed queue
+// with manager forwarding and last-holder caching), semaphores (static
+// manager, two messages per operation), condition variables (queued at the
+// associated lock's manager), flush (the 2(n-1)-message primitive the paper
+// proposes to remove), and the Tmk_fork/Tmk_join pair OpenMP-style execution
+// rides on.
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "tmk/arena.h"
+#include "tmk/node.h"
+#include "tmk/runtime.h"
+
+namespace now::tmk {
+
+namespace {
+std::uint64_t cond_key(std::uint32_t lock_id, std::uint32_t cond_id) {
+  return (static_cast<std::uint64_t>(lock_id) << 32) | cond_id;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+void Node::barrier() {
+  sync_cpu();
+  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  close_interval();
+
+  const std::uint32_t mgr = rt_.barrier_manager();
+  auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
+  ByteWriter w;
+  VectorTime vt;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    vt = log_.vt();
+  }
+  KnowledgeLog::serialize_vt(w, vt);
+  KnowledgeLog::serialize_records(w, delta);
+
+  sim::Message reply = rpc_call(mgr, kBarrierArrive, w.take());
+  ByteReader r(reply.payload);
+  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+}
+
+void Node::on_barrier_arrive(sim::Message&& m) {
+  ByteReader r(m.payload);
+  BarrierMgrState::Arrival a;
+  a.node = m.src;
+  a.vt = KnowledgeLog::deserialize_vt(r);
+  a.rpc_seq = m.seq;
+  a.arrive_ts = m.arrive_ts_ns;
+  mgr_.log.merge(KnowledgeLog::deserialize_records(r));
+  mgr_.barrier.arrivals.push_back(std::move(a));
+
+  if (mgr_.barrier.arrivals.size() < num_nodes_) return;
+
+  std::uint64_t depart_ts = 0;
+  for (const auto& arr : mgr_.barrier.arrivals)
+    depart_ts = std::max(depart_ts, arr.arrive_ts);
+  depart_ts += static_cast<std::uint64_t>(rt_.config().barrier_manager_us * 1000.0);
+
+  for (const auto& arr : mgr_.barrier.arrivals) {
+    ByteWriter w;
+    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(arr.vt));
+    sim::Message depart;
+    depart.type = kBarrierDepart;
+    depart.src = id_;
+    depart.dst = arr.node;
+    depart.seq = arr.rpc_seq;
+    depart.send_ts_ns = depart_ts;
+    depart.payload = w.take();
+    rt_.net().send(std::move(depart));
+  }
+  mgr_.barrier.arrivals.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+void Node::lock_acquire(std::uint32_t lock_id) {
+  sync_cpu();
+  stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    NOW_CHECK(!st.held) << "recursive acquire of lock " << lock_id;
+    if (st.cached) {
+      // This node was the last holder; re-acquiring is free (TreadMarks lock
+      // caching).  Consistency needs nothing: the release chain ends here.
+      st.held = true;
+      stats_.lock_acquires_cached.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    st.awaiting = true;
+  }
+
+  ByteWriter w;
+  w.u32(lock_id);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    KnowledgeLog::serialize_vt(w, log_.vt());
+  }
+  sim::Message m;
+  m.type = kLockAcquire;
+  m.dst = rt_.lock_manager(lock_id);
+  m.payload = w.take();
+  send_compute(std::move(m));
+
+  sim::Message grant = lock_grant_slot_.take();
+  ByteReader r(grant.payload);
+  const std::uint32_t granted = r.u32();
+  NOW_CHECK_EQ(granted, lock_id);
+  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+  arrive(grant);
+  {
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    st.held = true;
+    st.cached = true;
+    st.awaiting = false;
+  }
+}
+
+void Node::lock_release(std::uint32_t lock_id) {
+  sync_cpu();
+  close_interval();
+  std::optional<PendingGrant> pending;
+  {
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    NOW_CHECK(st.held) << "release of unheld lock " << lock_id;
+    st.held = false;
+    if (st.pending) {
+      pending = std::move(st.pending);
+      st.pending.reset();
+      st.cached = false;
+    }
+  }
+  if (pending)
+    grant_lock(lock_id, pending->requester, pending->vt, 0, /*from_service=*/false);
+}
+
+void Node::grant_lock(std::uint32_t lock_id, std::uint32_t requester,
+                      const VectorTime& vt, std::uint64_t base_ts,
+                      bool from_service) {
+  auto delta = take_delta_for(requester, Cache::kNodeLog, &vt);
+  if (log_enabled(LogLevel::kDebug)) {
+    std::string recs;
+    for (auto& rec : delta)
+      recs += " (" + std::to_string(rec.node) + "," + std::to_string(rec.seq) + ")";
+    NOW_LOG(kDebug, "node %u: grant lock %u to %u: delta%s [req vt0=%u vt1=%u]",
+            id_, lock_id, requester, recs.empty() ? " <empty>" : recs.c_str(),
+            vt.empty() ? 0 : vt[0], vt.size() > 1 ? vt[1] : 0);
+  }
+  ByteWriter w;
+  w.u32(lock_id);
+  KnowledgeLog::serialize_records(w, delta);
+  sim::Message m;
+  m.type = kLockGrant;
+  m.dst = requester;
+  m.payload = w.take();
+  if (from_service)
+    send_service(std::move(m), base_ts);
+  else
+    send_compute(std::move(m));
+}
+
+void Node::on_lock_acquire(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint32_t lock_id = r.u32();
+  const VectorTime vt = KnowledgeLog::deserialize_vt(r);
+  mgr_route_lock(lock_id, m.src, vt, m.arrive_ts_ns);
+}
+
+void Node::mgr_route_lock(std::uint32_t lock_id, std::uint32_t requester,
+                          const VectorTime& vt, std::uint64_t base_ts) {
+  LockMgrState& L = mgr_.locks[lock_id];
+  if (!L.ever_requested) {
+    // Never held: the manager grants directly, with whatever knowledge has
+    // been routed through it (usually nothing).
+    L.ever_requested = true;
+    L.tail = requester;
+    ByteWriter w;
+    w.u32(lock_id);
+    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(vt));
+    sim::Message grant;
+    grant.type = kLockGrant;
+    grant.dst = requester;
+    grant.payload = w.take();
+    send_service(std::move(grant), base_ts);
+    return;
+  }
+  const std::uint32_t prev = L.tail;
+  L.tail = requester;
+  ByteWriter w;
+  w.u32(lock_id);
+  w.u32(requester);
+  KnowledgeLog::serialize_vt(w, vt);
+  sim::Message fwd;
+  fwd.type = kLockForward;
+  fwd.dst = prev;
+  fwd.payload = w.take();
+  send_service(std::move(fwd), base_ts);
+}
+
+void Node::on_lock_forward(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint32_t lock_id = r.u32();
+  const std::uint32_t requester = r.u32();
+  const VectorTime vt = KnowledgeLog::deserialize_vt(r);
+
+  NOW_LOG(kDebug, "node %u: forward lock %u -> requester %u", id_, lock_id, requester);
+  if (requester == id_) {
+    // A condvar wakeup routed back to ourselves: nobody acquired the lock
+    // since we released it in cond_wait, so we still cache it.
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    NOW_CHECK(!st.held && st.cached && st.awaiting)
+        << "self-forward in unexpected lock state";
+    ByteWriter w;
+    w.u32(lock_id);
+    KnowledgeLog::serialize_records(w, {});
+    sim::Message grant;
+    grant.type = kLockGrant;
+    grant.dst = id_;
+    grant.payload = w.take();
+    send_service(std::move(grant), m.arrive_ts_ns);
+    return;
+  }
+
+  bool grant_now = false;
+  {
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    // `awaiting && cached` means our compute thread is blocked in cond_wait:
+    // it already released the lock (keeping the ownership cache), so the
+    // service thread can pass the lock on immediately.  Queuing here would
+    // deadlock — the signal that wakes us needs this very lock.
+    if (st.held || (st.awaiting && !st.cached)) {
+      NOW_CHECK(!st.pending) << "two pending lock requesters";
+      st.pending = PendingGrant{requester, vt};
+    } else {
+      NOW_CHECK(st.cached) << "lock forward reached a non-owner";
+      st.cached = false;
+      grant_now = true;
+    }
+  }
+  NOW_LOG(kDebug, "node %u: forward lock %u: %s", id_, lock_id,
+          grant_now ? "grant from cache" : "queued pending");
+  if (grant_now) grant_lock(lock_id, requester, vt, m.arrive_ts_ns, /*from_service=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Semaphores
+// ---------------------------------------------------------------------------
+
+void Node::sema_wait(std::uint32_t sema_id) {
+  sync_cpu();
+  stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
+  ByteWriter w;
+  w.u32(sema_id);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    KnowledgeLog::serialize_vt(w, log_.vt());
+  }
+  sim::Message reply = rpc_call(rt_.sema_manager(sema_id), kSemaWait, w.take());
+  ByteReader r(reply.payload);
+  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+}
+
+void Node::sema_signal(std::uint32_t sema_id) {
+  sync_cpu();
+  stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
+  close_interval();
+  const std::uint32_t mgr = rt_.sema_manager(sema_id);
+  auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
+  ByteWriter w;
+  w.u32(sema_id);
+  KnowledgeLog::serialize_records(w, delta);
+  rpc_call(mgr, kSemaSignal, w.take());  // kSemaAck
+}
+
+void Node::on_sema_wait(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint32_t sema_id = r.u32();
+  VectorTime vt = KnowledgeLog::deserialize_vt(r);
+  SemaMgrState& S = mgr_.semas[sema_id];
+  if (S.count > 0) {
+    --S.count;
+    ByteWriter w;
+    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(vt));
+    sim::Message grant;
+    grant.type = kSemaGrant;
+    grant.dst = m.src;
+    grant.seq = m.seq;
+    grant.payload = w.take();
+    send_service(std::move(grant), m.arrive_ts_ns);
+  } else {
+    S.waiters.push_back({m.src, std::move(vt), m.seq});
+  }
+}
+
+void Node::on_sema_signal(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint32_t sema_id = r.u32();
+  mgr_.log.merge(KnowledgeLog::deserialize_records(r));
+  SemaMgrState& S = mgr_.semas[sema_id];
+  if (!S.waiters.empty()) {
+    SemaWaiter wtr = std::move(S.waiters.front());
+    S.waiters.pop_front();
+    ByteWriter w;
+    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(wtr.vt));
+    sim::Message grant;
+    grant.type = kSemaGrant;
+    grant.dst = wtr.node;
+    grant.seq = wtr.rpc_seq;
+    grant.payload = w.take();
+    send_service(std::move(grant), m.arrive_ts_ns);
+  } else {
+    ++S.count;
+  }
+  sim::Message ack;
+  ack.type = kSemaAck;
+  ack.dst = m.src;
+  ack.seq = m.seq;
+  send_service(std::move(ack), m.arrive_ts_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Condition variables
+// ---------------------------------------------------------------------------
+
+void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
+  NOW_LOG(kDebug, "node %u: cond_wait(%u,%u) begin", id_, lock_id, cond_id);
+  sync_cpu();
+  stats_.cond_ops.fetch_add(1, std::memory_order_relaxed);
+  close_interval();
+
+  // Register at the manager FIRST: the wait message reaches the manager's
+  // mailbox before any signal that the lock's next holder could issue, which
+  // is what makes release-and-wait atomic (no lost wakeups).
+  const std::uint32_t mgr = rt_.lock_manager(lock_id);
+  auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
+  ByteWriter w;
+  w.u32(lock_id);
+  w.u32(cond_id);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    KnowledgeLog::serialize_vt(w, log_.vt());
+  }
+  KnowledgeLog::serialize_records(w, delta);
+  sim::Message m;
+  m.type = kCondWait;
+  m.dst = mgr;
+  m.payload = w.take();
+  send_compute(std::move(m));
+
+  // Now release the lock locally so other threads can enter the critical
+  // section and change the condition.
+  std::optional<PendingGrant> pending;
+  {
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    NOW_CHECK(st.held) << "cond_wait outside the critical section";
+    st.held = false;
+    st.awaiting = true;
+    if (st.pending) {
+      pending = std::move(st.pending);
+      st.pending.reset();
+      st.cached = false;
+    }
+  }
+  if (pending)
+    grant_lock(lock_id, pending->requester, pending->vt, 0, /*from_service=*/false);
+
+  // Block until a signal re-routes the lock to us.
+  sim::Message grant = lock_grant_slot_.take();
+  ByteReader r(grant.payload);
+  const std::uint32_t granted = r.u32();
+  NOW_CHECK_EQ(granted, lock_id);
+  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+  arrive(grant);
+  {
+    std::lock_guard<std::mutex> lock(lock_client_mu_);
+    LockClientState& st = lock_client_[lock_id];
+    st.held = true;
+    st.cached = true;
+    st.awaiting = false;
+  }
+  NOW_LOG(kDebug, "node %u: cond_wait(%u,%u) woke", id_, lock_id, cond_id);
+}
+
+void Node::cond_notify(std::uint32_t lock_id, std::uint32_t cond_id, bool broadcast) {
+  sync_cpu();
+  stats_.cond_ops.fetch_add(1, std::memory_order_relaxed);
+  // The signal itself is not a release of the lock, but the manager's later
+  // grants are built from its log, so ship our release chain along.
+  const std::uint32_t mgr = rt_.lock_manager(lock_id);
+  close_interval();
+  auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
+  ByteWriter w;
+  w.u32(lock_id);
+  w.u32(cond_id);
+  KnowledgeLog::serialize_records(w, delta);
+  sim::Message m;
+  m.type = broadcast ? kCondBroadcast : kCondSignal;
+  m.dst = mgr;
+  m.payload = w.take();
+  send_compute(std::move(m));
+}
+
+void Node::cond_signal(std::uint32_t lock_id, std::uint32_t cond_id) {
+  cond_notify(lock_id, cond_id, /*broadcast=*/false);
+}
+
+void Node::cond_broadcast(std::uint32_t lock_id, std::uint32_t cond_id) {
+  cond_notify(lock_id, cond_id, /*broadcast=*/true);
+}
+
+void Node::on_cond_wait(sim::Message&& m) {
+  NOW_LOG(kDebug, "node %u MGR: cond_wait from %u", id_, m.src);
+  ByteReader r(m.payload);
+  const std::uint32_t lock_id = r.u32();
+  const std::uint32_t cond_id = r.u32();
+  VectorTime vt = KnowledgeLog::deserialize_vt(r);
+  mgr_.log.merge(KnowledgeLog::deserialize_records(r));
+  mgr_.conds[cond_key(lock_id, cond_id)].push_back({m.src, std::move(vt)});
+}
+
+void Node::on_cond_signal(sim::Message&& m, bool broadcast) {
+  ByteReader r(m.payload);
+  const std::uint32_t lock_id = r.u32();
+  const std::uint32_t cond_id = r.u32();
+  mgr_.log.merge(KnowledgeLog::deserialize_records(r));
+  NOW_LOG(kDebug, "node %u MGR: cond_%s from %u (waiters=%zu)", id_,
+          broadcast ? "broadcast" : "signal", m.src,
+          mgr_.conds[cond_key(lock_id, cond_id)].size());
+  auto& q = mgr_.conds[cond_key(lock_id, cond_id)];
+  // "cond_signal has no effect if no thread is waiting" (paper, Sec. 3.2.3).
+  std::size_t n = broadcast ? q.size() : std::min<std::size_t>(1, q.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    CondWaiter wtr = std::move(q.front());
+    q.pop_front();
+    mgr_route_lock(lock_id, wtr.node, wtr.vt, m.arrive_ts_ns);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flush (retained for the ablation study)
+// ---------------------------------------------------------------------------
+
+void Node::flush() {
+  sync_cpu();
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  close_interval();
+
+  // 2(n-1) messages: a notice to every other node, each acknowledged — the
+  // cost the paper's Section 3.2.4 argues against.
+  struct Call {
+    std::uint64_t tok;
+  };
+  std::vector<Call> calls;
+  for (std::uint32_t peer = 0; peer < num_nodes_; ++peer) {
+    if (peer == id_) continue;
+    auto delta = take_delta_for(peer, Cache::kNodeLog, nullptr);
+    ByteWriter w;
+    KnowledgeLog::serialize_records(w, delta);
+    const std::uint64_t tok = rpc_.begin();
+    sim::Message m;
+    m.type = kFlushNotice;
+    m.dst = peer;
+    m.seq = tok;
+    m.payload = w.take();
+    send_compute(std::move(m));
+    calls.push_back({tok});
+  }
+  for (const Call& c : calls) {
+    sim::Message ack = rpc_.wait(c.tok);
+    arrive(ack);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fork / join
+// ---------------------------------------------------------------------------
+
+void Node::fork_slaves(ForkFn fn, const void* arg, std::size_t arg_size) {
+  sync_cpu();
+  close_interval();
+  for (std::uint32_t slave = 0; slave < num_nodes_; ++slave) {
+    if (slave == id_) continue;
+    auto delta = take_delta_for(slave, Cache::kNodeLog, nullptr);
+    ByteWriter w;
+    w.u64(reinterpret_cast<std::uint64_t>(fn));
+    w.bytes(arg, arg_size);
+    KnowledgeLog::serialize_records(w, delta);
+    sim::Message m;
+    m.type = kFork;
+    m.dst = slave;
+    m.payload = w.take();
+    send_compute(std::move(m));
+  }
+}
+
+void Node::join_slaves() {
+  // Join records were already merged by the service thread on receipt (see
+  // handle_message); here the master only synchronizes time.
+  for (std::uint32_t i = 0; i + 1 < num_nodes_; ++i) {
+    sim::Message m = join_slot_.take();
+    arrive(m);
+  }
+}
+
+void Node::shutdown_slaves() {
+  for (std::uint32_t slave = 0; slave < num_nodes_; ++slave) {
+    if (slave == id_) continue;
+    sim::Message m;
+    m.type = kShutdown;
+    m.dst = slave;
+    send_compute(std::move(m));
+  }
+}
+
+bool Node::slave_serve_one(Tmk& tmk) {
+  sim::Message m = fork_slot_.take();
+  if (m.type == kShutdown) return false;
+
+  // Fork records were already merged by the service thread on receipt.
+  ByteReader r(m.payload);
+  auto fn = reinterpret_cast<ForkFn>(r.u64());
+  std::vector<std::uint8_t> arg = r.bytes();
+  arrive(m);
+
+  fn(tmk, arg.data(), arg.size());
+
+  sync_cpu();
+  close_interval();
+  auto delta = take_delta_for(rt_.master_node(), Cache::kNodeLog, nullptr);
+  ByteWriter w;
+  KnowledgeLog::serialize_records(w, delta);
+  sim::Message join;
+  join.type = kJoin;
+  join.dst = rt_.master_node();
+  join.payload = w.take();
+  send_compute(std::move(join));
+  return true;
+}
+
+void Node::debug_dump() {
+  std::lock_guard<std::mutex> lock(lock_client_mu_);
+  for (auto& [id, st] : lock_client_) {
+    std::fprintf(stderr,
+                 "[dump] node %u lock %u: held=%d cached=%d awaiting=%d pending=%s\n",
+                 id_, id, st.held, st.cached, st.awaiting,
+                 st.pending ? std::to_string(st.pending->requester).c_str() : "-");
+  }
+  for (auto& [id, L] : mgr_.locks)
+    std::fprintf(stderr, "[dump] node %u MGR lock %u: ever=%d tail=%u\n", id_, id,
+                 L.ever_requested, L.tail);
+  for (auto& [key, q] : mgr_.conds)
+    std::fprintf(stderr, "[dump] node %u MGR cond (%u,%u): %zu waiters\n", id_,
+                 static_cast<std::uint32_t>(key >> 32),
+                 static_cast<std::uint32_t>(key), q.size());
+}
+
+// ---------------------------------------------------------------------------
+// Shared heap allocation
+// ---------------------------------------------------------------------------
+
+std::uint64_t Node::shared_malloc(std::size_t bytes, std::size_t align) {
+  sync_cpu();
+  ByteWriter w;
+  w.u64(bytes);
+  w.u64(align);
+  sim::Message reply = rpc_call(rt_.alloc_server(), kAllocRequest, w.take());
+  ByteReader r(reply.payload);
+  return r.u64();
+}
+
+void Node::shared_free(std::uint64_t offset) {
+  sync_cpu();
+  ByteWriter w;
+  w.u64(offset);
+  rpc_call(rt_.alloc_server(), kFreeRequest, w.take());
+}
+
+}  // namespace now::tmk

@@ -1,0 +1,54 @@
+// Per-node page table entries for the DSM protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tmk/config.h"
+#include "tmk/intervals.h"
+
+namespace now::tmk {
+
+enum class PageState : std::uint8_t {
+  kInvalid,   // PROT_NONE; access faults and runs the fetch protocol
+  kReadOnly,  // PROT_READ; a write will fault and start a new twin
+  kWritable,  // PROT_READ|PROT_WRITE with a twin capturing pre-write contents
+};
+
+// An interval of this node whose writes to the page are not yet fully
+// materialized as a diff.  While `open`, the page may still be written (the
+// twin tracks it); once the interval is closed at a release, the page is
+// write-protected so the diff can be computed lazily but safely.
+struct PendingTwin {
+  std::uint32_t seq = 0;  // own interval the twin belongs to
+  std::unique_ptr<std::uint8_t[]> data;
+};
+
+// A write notice this node has learned about but whose diff it has not yet
+// applied to its copy of the page.
+struct UnappliedNotice {
+  std::uint32_t writer = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t lamport = 0;
+};
+
+struct PageEntry {
+  // Serializes page-state transitions between the node's compute thread
+  // (faults, invalidations) and its service thread (diff materialization).
+  std::mutex mu;
+
+  PageState state = PageState::kInvalid;
+  bool ever_valid = false;  // false => local copy is the initial zero page
+
+  // Twin for the currently writable / pending interval (at most one; older
+  // intervals' diffs are already materialized in the diff store).
+  PendingTwin twin;
+  bool twin_valid = false;
+
+  // Write notices to apply at the next fault, sorted on use by lamport.
+  std::vector<UnappliedNotice> unapplied;
+};
+
+}  // namespace now::tmk

@@ -1,0 +1,86 @@
+// Blocking rendezvous helpers between a node's compute thread and its
+// protocol service thread.
+//
+// The compute thread issues requests and blocks; the service thread routes
+// matching replies back.  This is the user-level analogue of TreadMarks'
+// "request handler runs at SIGIO while the application blocks in the page
+// fault handler".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "simnet/message.h"
+
+namespace now::tmk {
+
+// Seq-matched replies; supports several outstanding requests (a page fetch
+// requests diffs from every writer in parallel).
+class RpcClient {
+ public:
+  std::uint64_t begin() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t seq = next_seq_++;
+    pending_.emplace(seq, std::nullopt);
+    return seq;
+  }
+
+  sim::Message wait(std::uint64_t seq) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = pending_.find(seq);
+    NOW_CHECK(it != pending_.end()) << "rpc wait without begin";
+    cv_.wait(lock, [&] { return it->second.has_value(); });
+    sim::Message m = std::move(*it->second);
+    pending_.erase(it);
+    return m;
+  }
+
+  void fulfill(std::uint64_t seq, sim::Message&& m) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(seq);
+      NOW_CHECK(it != pending_.end()) << "unmatched rpc reply seq " << seq;
+      it->second = std::move(m);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, std::optional<sim::Message>> pending_;
+};
+
+// Single-slot wakeup for unsolicited messages the compute thread blocks on
+// (lock grants, the next fork).
+class WaitSlot {
+ public:
+  void post(sim::Message&& m) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  sim::Message take() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    sim::Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<sim::Message> queue_;
+};
+
+}  // namespace now::tmk

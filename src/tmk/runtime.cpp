@@ -1,0 +1,106 @@
+#include "tmk/runtime.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace now::tmk {
+
+DsmRuntime::DsmRuntime(DsmConfig cfg)
+    : cfg_(cfg),
+      arena_(cfg.num_nodes, cfg.heap_bytes),
+      net_(cfg.num_nodes, cfg.net) {
+  nodes_.reserve(cfg_.num_nodes);
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i)
+    nodes_.push_back(std::make_unique<Node>(*this, i));
+  fault::register_runtime(this);
+  for (auto& n : nodes_) n->start_service();
+}
+
+DsmRuntime::~DsmRuntime() {
+  net_.close_all();
+  for (auto& n : nodes_) n->join_service();
+  fault::unregister_runtime(this);
+}
+
+void DsmRuntime::handle_fault(void* addr) {
+  nodes_[arena_.node_of(addr)]->handle_fault(addr);
+}
+
+void DsmRuntime::run_spmd(const std::function<void(Tmk&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.num_nodes);
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+    threads.emplace_back([this, i, &fn] {
+      Node& n = *nodes_[i];
+      n.bind_compute_thread();
+      Tmk tmk{n, *this};
+      fn(tmk);
+      n.sync_cpu();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void DsmRuntime::run_master(const std::function<void(Tmk&)>& program) {
+  run_spmd([this, &program](Tmk& tmk) {
+    if (tmk.id() == master_node()) {
+      program(tmk);
+      tmk.node.shutdown_slaves();
+    } else {
+      while (tmk.node.slave_serve_one(tmk)) {
+      }
+    }
+  });
+}
+
+void DsmRuntime::debug_dump() {
+  for (auto& n : nodes_) n->debug_dump();
+}
+
+DsmStatsSnapshot DsmRuntime::total_stats() const {
+  DsmStatsSnapshot total;
+  for (const auto& n : nodes_) total += n->stats().snapshot();
+  return total;
+}
+
+std::uint64_t DsmRuntime::virtual_time_ns() const {
+  std::uint64_t t = 0;
+  for (const auto& n : nodes_) t = std::max(t, n->clock().now_ns());
+  return t;
+}
+
+std::uint64_t DsmRuntime::allocator_alloc(std::size_t bytes, std::size_t align) {
+  NOW_CHECK_GT(bytes, 0u);
+  align = std::max<std::size_t>(align, 64);
+  // Round sizes so freed blocks are reusable across similar requests.
+  const std::size_t size = (bytes + align - 1) / align * align;
+
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  auto it = alloc_free_.find(size);
+  if (it != alloc_free_.end() && !it->second.empty()) {
+    const std::uint64_t off = it->second.back();
+    it->second.pop_back();
+    alloc_live_[off] = size;
+    return off;
+  }
+  std::uint64_t off = (alloc_bump_ + align - 1) / align * align;
+  NOW_CHECK_LE(off + size, cfg_.heap_bytes)
+      << "shared heap exhausted: need " << size << " bytes at offset " << off
+      << " of " << cfg_.heap_bytes;
+  alloc_bump_ = off + size;
+  alloc_live_[off] = size;
+  return off;
+}
+
+void DsmRuntime::allocator_free(std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  auto it = alloc_live_.find(offset);
+  NOW_CHECK(it != alloc_live_.end()) << "free of unallocated offset " << offset;
+  alloc_free_[it->second].push_back(offset);
+  alloc_live_.erase(it);
+}
+
+}  // namespace now::tmk

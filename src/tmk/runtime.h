@@ -1,0 +1,149 @@
+// The DSM runtime: owns the arena, the simulated network and the nodes, and
+// exposes the TreadMarks-style API through per-node `Tmk` handles.
+//
+// Two execution styles are supported, matching the paper:
+//   - run_spmd: every node runs the same function (hand-coded TreadMarks
+//     applications are SPMD programs synchronizing with barriers/locks);
+//   - run_master: node 0 runs the program and the others sit in a fork
+//     service loop (the Tmk_fork/Tmk_join style "specifically tailored to
+//     the fork-join parallelism expected by OpenMP").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <map>
+#include <vector>
+
+#include "simnet/network.h"
+#include "tmk/arena.h"
+#include "tmk/config.h"
+#include "tmk/gptr.h"
+#include "tmk/node.h"
+#include "tmk/stats.h"
+
+namespace now::tmk {
+
+class DsmRuntime;
+
+// Per-node handle passed to application code.  All shared-memory access goes
+// through gptr<T>; all synchronization goes through these methods.
+struct Tmk {
+  Node& node;
+  DsmRuntime& rt;
+
+  std::uint32_t id() const { return node.id(); }
+  std::uint32_t nprocs() const;
+
+  // ---- shared heap ----
+  gptr<void> alloc(std::size_t bytes, std::size_t align = 64) {
+    return gptr<void>(node.shared_malloc(bytes, align));
+  }
+  template <typename T>
+  gptr<T> alloc_array(std::size_t n) {
+    return gptr<T>(node.shared_malloc(n * sizeof(T), alignof(T) > 64 ? alignof(T) : 64));
+  }
+  void free(gptr<void> p) { node.shared_free(p.offset()); }
+
+  // A fixed page of shared root slots (the moral equivalent of a Fortran
+  // common block "loaded in a standard location"): the master stores gptrs
+  // to its allocations here before the first barrier/fork.
+  template <typename T>
+  gptr<T> root(std::size_t slot) const {
+    return gptr<T>(slot * sizeof(std::uint64_t)).template cast<T>();
+  }
+  void set_root(std::size_t slot, gptr<void> p) {
+    root<std::uint64_t>(slot)[0] = p.offset();
+  }
+  template <typename T>
+  gptr<T> get_root(std::size_t slot) const {
+    return gptr<T>(root<std::uint64_t>(slot)[0]);
+  }
+
+  // ---- synchronization ----
+  void barrier() { node.barrier(); }
+  void lock_acquire(std::uint32_t id_) { node.lock_acquire(id_); }
+  void lock_release(std::uint32_t id_) { node.lock_release(id_); }
+  void sema_wait(std::uint32_t id_) { node.sema_wait(id_); }
+  void sema_signal(std::uint32_t id_) { node.sema_signal(id_); }
+  void cond_wait(std::uint32_t lock, std::uint32_t cond) { node.cond_wait(lock, cond); }
+  void cond_signal(std::uint32_t lock, std::uint32_t cond) { node.cond_signal(lock, cond); }
+  void cond_broadcast(std::uint32_t lock, std::uint32_t cond) { node.cond_broadcast(lock, cond); }
+  void flush() { node.flush(); }
+
+  // ---- fork/join (master side; see DsmRuntime::run_master) ----
+  void fork(ForkFn fn, const void* arg, std::size_t arg_size) {
+    node.fork_slaves(fn, arg, arg_size);
+  }
+  void join() { node.join_slaves(); }
+};
+
+class DsmRuntime {
+ public:
+  explicit DsmRuntime(DsmConfig cfg);
+  ~DsmRuntime();
+  DsmRuntime(const DsmRuntime&) = delete;
+  DsmRuntime& operator=(const DsmRuntime&) = delete;
+
+  // Runs `fn` on every node concurrently (SPMD); returns when all complete.
+  void run_spmd(const std::function<void(Tmk&)>& fn);
+
+  // Runs `program` on node 0 while the other nodes serve Tmk_fork requests;
+  // returns when the program finishes and the slaves have been shut down.
+  void run_master(const std::function<void(Tmk&)>& program);
+
+  const DsmConfig& config() const { return cfg_; }
+  Arena& arena() { return arena_; }
+  const Arena& arena() const { return arena_; }
+  sim::Network& net() { return net_; }
+  Node& node(std::uint32_t id) { return *nodes_[id]; }
+
+  // Manager placement (static, as in TreadMarks).
+  std::uint32_t barrier_manager() const { return 0; }
+  std::uint32_t master_node() const { return 0; }
+  std::uint32_t alloc_server() const { return 0; }
+  std::uint32_t lock_manager(std::uint32_t lock_id) const {
+    return lock_id % cfg_.num_nodes;
+  }
+  std::uint32_t sema_manager(std::uint32_t sema_id) const {
+    return sema_id % cfg_.num_nodes;
+  }
+
+  // SIGSEGV dispatch (called by the installed handler).
+  void handle_fault(void* addr);
+
+  // ---- measurement ----
+  sim::TrafficSnapshot traffic() const { return net_.traffic(); }
+  DsmStatsSnapshot total_stats() const;
+  // Completion time of the run: the maximum virtual clock over all nodes.
+  std::uint64_t virtual_time_ns() const;
+  double virtual_time_us() const {
+    return static_cast<double>(virtual_time_ns()) / 1000.0;
+  }
+
+  // Dumps every node's synchronization state to stderr (deadlock forensics).
+  void debug_dump();
+
+  // ---- shared heap allocator (the node-0 allocation server's state) ----
+  std::uint64_t allocator_alloc(std::size_t bytes, std::size_t align);
+  void allocator_free(std::uint64_t offset);
+
+  // First offset handed out by the allocator (after the root-slot page).
+  static constexpr std::uint64_t kHeapStart = kPageSize;
+
+ private:
+  DsmConfig cfg_;
+  Arena arena_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  std::mutex alloc_mu_;
+  std::uint64_t alloc_bump_ = kHeapStart;
+  std::map<std::uint64_t, std::size_t> alloc_live_;          // offset -> size
+  std::map<std::size_t, std::vector<std::uint64_t>> alloc_free_;  // size -> offsets
+};
+
+inline std::uint32_t Tmk::nprocs() const { return rt.config().num_nodes; }
+
+}  // namespace now::tmk

@@ -1,0 +1,85 @@
+// DSM protocol statistics, per node and aggregated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace now::tmk {
+
+struct DsmStatsSnapshot {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t cold_zero_fills = 0;   // first-touch pages satisfied locally
+  std::uint64_t diff_fetches = 0;      // remote fetch round trips
+  std::uint64_t diffs_created = 0;
+  std::uint64_t diffs_applied = 0;
+  std::uint64_t diff_bytes_created = 0;
+  std::uint64_t twins_created = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_acquires_cached = 0;  // satisfied locally (node was tail)
+  std::uint64_t barriers = 0;
+  std::uint64_t sema_ops = 0;
+  std::uint64_t cond_ops = 0;
+  std::uint64_t flushes = 0;
+
+  DsmStatsSnapshot& operator+=(const DsmStatsSnapshot& o) {
+    read_faults += o.read_faults;
+    write_faults += o.write_faults;
+    cold_zero_fills += o.cold_zero_fills;
+    diff_fetches += o.diff_fetches;
+    diffs_created += o.diffs_created;
+    diffs_applied += o.diffs_applied;
+    diff_bytes_created += o.diff_bytes_created;
+    twins_created += o.twins_created;
+    invalidations += o.invalidations;
+    lock_acquires += o.lock_acquires;
+    lock_acquires_cached += o.lock_acquires_cached;
+    barriers += o.barriers;
+    sema_ops += o.sema_ops;
+    cond_ops += o.cond_ops;
+    flushes += o.flushes;
+    return *this;
+  }
+};
+
+// Relaxed atomics: the compute and service threads of a node both count.
+struct DsmStats {
+  std::atomic<std::uint64_t> read_faults{0};
+  std::atomic<std::uint64_t> write_faults{0};
+  std::atomic<std::uint64_t> cold_zero_fills{0};
+  std::atomic<std::uint64_t> diff_fetches{0};
+  std::atomic<std::uint64_t> diffs_created{0};
+  std::atomic<std::uint64_t> diffs_applied{0};
+  std::atomic<std::uint64_t> diff_bytes_created{0};
+  std::atomic<std::uint64_t> twins_created{0};
+  std::atomic<std::uint64_t> invalidations{0};
+  std::atomic<std::uint64_t> lock_acquires{0};
+  std::atomic<std::uint64_t> lock_acquires_cached{0};
+  std::atomic<std::uint64_t> barriers{0};
+  std::atomic<std::uint64_t> sema_ops{0};
+  std::atomic<std::uint64_t> cond_ops{0};
+  std::atomic<std::uint64_t> flushes{0};
+
+  DsmStatsSnapshot snapshot() const {
+    DsmStatsSnapshot s;
+    s.read_faults = read_faults.load(std::memory_order_relaxed);
+    s.write_faults = write_faults.load(std::memory_order_relaxed);
+    s.cold_zero_fills = cold_zero_fills.load(std::memory_order_relaxed);
+    s.diff_fetches = diff_fetches.load(std::memory_order_relaxed);
+    s.diffs_created = diffs_created.load(std::memory_order_relaxed);
+    s.diffs_applied = diffs_applied.load(std::memory_order_relaxed);
+    s.diff_bytes_created = diff_bytes_created.load(std::memory_order_relaxed);
+    s.twins_created = twins_created.load(std::memory_order_relaxed);
+    s.invalidations = invalidations.load(std::memory_order_relaxed);
+    s.lock_acquires = lock_acquires.load(std::memory_order_relaxed);
+    s.lock_acquires_cached = lock_acquires_cached.load(std::memory_order_relaxed);
+    s.barriers = barriers.load(std::memory_order_relaxed);
+    s.sema_ops = sema_ops.load(std::memory_order_relaxed);
+    s.cond_ops = cond_ops.load(std::memory_order_relaxed);
+    s.flushes = flushes.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace now::tmk

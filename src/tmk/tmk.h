@@ -1,0 +1,8 @@
+// Umbrella header for the TreadMarks-like DSM library.
+#pragma once
+
+#include "tmk/config.h"   // IWYU pragma: export
+#include "tmk/diff.h"     // IWYU pragma: export
+#include "tmk/gptr.h"     // IWYU pragma: export
+#include "tmk/runtime.h"  // IWYU pragma: export
+#include "tmk/stats.h"    // IWYU pragma: export

@@ -1,0 +1,96 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace now {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RoundTripBytesAndStrings) {
+  ByteWriter w;
+  const std::string s = "treadmarks";
+  w.str(s);
+  std::uint8_t raw[3] = {1, 2, 3};
+  w.bytes(raw, sizeof raw);
+  auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), s);
+  auto b = r.bytes();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, EmptyBytesAllowed) {
+  ByteWriter w;
+  w.bytes(nullptr, 0);
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RawRoundTrip) {
+  ByteWriter w;
+  double values[4] = {1.0, 2.0, 3.0, 4.0};
+  w.raw(values, sizeof values);
+  auto buf = w.take();
+  ByteReader r(buf);
+  double out[4];
+  r.raw(out, sizeof out);
+  EXPECT_EQ(out[3], 4.0);
+}
+
+TEST(Bytes, FuzzRoundTrip) {
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    ByteWriter w;
+    std::vector<std::uint64_t> values;
+    const int n = 1 + static_cast<int>(rng.next_below(30));
+    for (int i = 0; i < n; ++i) {
+      values.push_back(rng.next_u64());
+      w.u64(values.back());
+    }
+    auto buf = w.take();
+    ByteReader r(buf);
+    for (std::uint64_t v : values) EXPECT_EQ(r.u64(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,27 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(Check, PassingChecksDoNothing) {
+  NOW_CHECK(true);
+  NOW_CHECK_EQ(1, 1);
+  NOW_CHECK_NE(1, 2);
+  NOW_CHECK_LT(1, 2);
+  NOW_CHECK_LE(2, 2);
+  NOW_CHECK_GT(3, 2);
+  NOW_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ NOW_CHECK(false) << "boom"; }, "boom");
+}
+
+TEST(CheckDeathTest, FailingCheckEqPrintsValues) {
+  EXPECT_DEATH({ NOW_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+}  // namespace
+}  // namespace now

@@ -1,0 +1,32 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace now {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"app", "speedup"});
+  t.add_row({"water", "6.10"});
+  t.add_row({"tsp", "7.25"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("app"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("6.10"), std::string::npos);
+  EXPECT_NE(s.find("tsp"), std::string::npos);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+}
+
+TEST(Table, FmtInteger) { EXPECT_EQ(Table::fmt(std::uint64_t{12345}), "12345"); }
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width mismatch");
+}
+
+}  // namespace
+}  // namespace now

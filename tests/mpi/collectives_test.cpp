@@ -1,0 +1,146 @@
+// mini-MPI collectives: correctness against sequential references and
+// message-count sanity for the tree/dissemination algorithms.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi/mpi.h"
+
+namespace now::mpi {
+namespace {
+
+MpiConfig cfg(std::uint32_t ranks) {
+  MpiConfig c;
+  c.num_ranks = ranks;
+  return c;
+}
+
+class CollectivesAtSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CollectivesAtSize, BarrierCompletes) {
+  MpiRuntime rt(cfg(GetParam()));
+  rt.run([](Comm& c) {
+    for (int i = 0; i < 3; ++i) c.barrier();
+  });
+}
+
+TEST_P(CollectivesAtSize, BcastFromEveryRoot) {
+  MpiRuntime rt(cfg(GetParam()));
+  rt.run([](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      std::uint64_t v = c.rank() == root ? 4242 + static_cast<std::uint64_t>(root) : 0;
+      c.bcast(&v, sizeof v, root);
+      EXPECT_EQ(v, 4242u + static_cast<std::uint64_t>(root));
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, ReduceSumMatchesReference) {
+  MpiRuntime rt(cfg(GetParam()));
+  const int n = static_cast<int>(GetParam());
+  rt.run([n](Comm& c) {
+    std::vector<double> in(8);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      in[i] = static_cast<double>(c.rank() + 1) * static_cast<double>(i + 1);
+    std::vector<double> out(8, 0.0);
+    c.reduce(in.data(), out.data(), in.size(), Op::kSum, 0);
+    if (c.rank() == 0) {
+      const double ranksum = n * (n + 1) / 2.0;
+      for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i], ranksum * static_cast<double>(i + 1));
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, AllreduceMinMax) {
+  MpiRuntime rt(cfg(GetParam()));
+  const int n = static_cast<int>(GetParam());
+  rt.run([n](Comm& c) {
+    const std::int64_t mine = 100 - c.rank();
+    EXPECT_EQ(c.allreduce_one(mine, Op::kMin), 100 - (n - 1));
+    EXPECT_EQ(c.allreduce_one(mine, Op::kMax), 100);
+  });
+}
+
+TEST_P(CollectivesAtSize, GatherCollectsInRankOrder) {
+  MpiRuntime rt(cfg(GetParam()));
+  const int n = static_cast<int>(GetParam());
+  rt.run([n](Comm& c) {
+    const std::uint32_t mine = 7u * static_cast<std::uint32_t>(c.rank()) + 1;
+    std::vector<std::uint32_t> all(static_cast<std::size_t>(n), 0);
+    c.gather(&mine, sizeof mine, all.data(), 0);
+    if (c.rank() == 0) {
+      for (int r = 0; r < n; ++r)
+        EXPECT_EQ(all[static_cast<std::size_t>(r)], 7u * static_cast<std::uint32_t>(r) + 1);
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, ScatterDistributesInRankOrder) {
+  MpiRuntime rt(cfg(GetParam()));
+  const int n = static_cast<int>(GetParam());
+  rt.run([n](Comm& c) {
+    std::vector<std::uint32_t> all(static_cast<std::size_t>(n));
+    if (c.rank() == 0)
+      for (int r = 0; r < n; ++r) all[static_cast<std::size_t>(r)] = 1000u + static_cast<std::uint32_t>(r);
+    std::uint32_t mine = 0;
+    c.scatter(all.data(), sizeof mine, &mine, 0);
+    EXPECT_EQ(mine, 1000u + static_cast<std::uint32_t>(c.rank()));
+  });
+}
+
+TEST_P(CollectivesAtSize, AlltoallTransposesRankMatrix) {
+  MpiRuntime rt(cfg(GetParam()));
+  const int n = static_cast<int>(GetParam());
+  rt.run([n](Comm& c) {
+    std::vector<std::uint32_t> out(static_cast<std::size_t>(n)), in(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      out[static_cast<std::size_t>(r)] = static_cast<std::uint32_t>(c.rank() * 100 + r);
+    c.alltoall(out.data(), sizeof(std::uint32_t), in.data());
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(in[static_cast<std::size_t>(r)], static_cast<std::uint32_t>(r * 100 + c.rank()));
+  });
+}
+
+TEST_P(CollectivesAtSize, AlltoallvVariableSizes) {
+  MpiRuntime rt(cfg(GetParam()));
+  const int n = static_cast<int>(GetParam());
+  rt.run([n](Comm& c) {
+    // Rank r sends (r+1) bytes of value r to every rank.
+    std::vector<std::size_t> sendbytes(static_cast<std::size_t>(n), static_cast<std::size_t>(c.rank()) + 1);
+    std::vector<std::size_t> recvbytes(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) recvbytes[static_cast<std::size_t>(r)] = static_cast<std::size_t>(r) + 1;
+    std::vector<std::uint8_t> sendbuf(static_cast<std::size_t>(n) * (static_cast<std::size_t>(c.rank()) + 1),
+                                      static_cast<std::uint8_t>(c.rank()));
+    const std::size_t total = static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) + 1) / 2;
+    std::vector<std::uint8_t> recvbuf(total, 0xff);
+    c.alltoallv(sendbuf.data(), sendbytes, recvbuf.data(), recvbytes);
+    std::size_t off = 0;
+    for (int r = 0; r < n; ++r)
+      for (std::size_t k = 0; k < static_cast<std::size_t>(r) + 1; ++k)
+        EXPECT_EQ(recvbuf[off++], static_cast<std::uint8_t>(r));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesAtSize, ::testing::Values(2u, 3u, 4u, 8u));
+
+TEST(CollectiveCost, BcastUsesTreeMessageCount) {
+  MpiRuntime rt(cfg(8));
+  rt.run([](Comm& c) {
+    std::uint64_t v = 1;
+    c.bcast(&v, sizeof v, 0);
+  });
+  // A binomial broadcast over n ranks sends exactly n-1 messages.
+  EXPECT_EQ(rt.traffic().messages, 7u);
+}
+
+TEST(CollectiveCost, BarrierDisseminationMessageCount) {
+  MpiRuntime rt(cfg(8));
+  rt.run([](Comm& c) { c.barrier(); });
+  // log2(8) = 3 rounds, n messages each.
+  EXPECT_EQ(rt.traffic().messages, 24u);
+}
+
+}  // namespace
+}  // namespace now::mpi

@@ -1,0 +1,235 @@
+// OpenMP-subset runtime tests: parallel regions, firstprivate capture,
+// schedules, reductions (scalar and array), criticals, threadprivate and the
+// synchronization directives.
+#include "omp/omp.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace now::omp {
+namespace {
+
+tmk::DsmConfig cfg(std::uint32_t nodes) {
+  tmk::DsmConfig c;
+  c.num_nodes = nodes;
+  c.heap_bytes = 8 << 20;
+  return c;
+}
+
+TEST(OmpParallel, EveryThreadRunsTheRegionOnce) {
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    OmpRuntime rt(cfg(n));
+    rt.run([n](Team& team) {
+      auto hits = team.shared_array<std::uint64_t>(n);
+      team.parallel([=](Par& p) { hits[p.thread_num()] = hits[p.thread_num()] + 1; });
+      for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1u) << "n=" << n;
+    });
+  }
+}
+
+TEST(OmpParallel, FirstprivateValuesCopiedAtFork) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    auto out = team.shared_array<std::uint64_t>(4);
+    std::uint64_t fp = 31415;  // master-stack value, captured by copy
+    team.parallel([=](Par& p) { out[p.thread_num()] = fp + p.thread_num(); });
+    for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], 31415u + i);
+  });
+}
+
+TEST(OmpParallel, SequentialCodeBetweenRegions) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    auto v = team.shared_array<std::uint64_t>(8);
+    team.parallel([=](Par& p) { v[p.thread_num()] = p.thread_num(); });
+    // Sequential epilogue on the master mutates shared data...
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) sum += v[i];
+    v[7] = sum;
+    // ...and the next region sees it.
+    team.parallel([=](Par&) { EXPECT_EQ(v[7], 0u + 1 + 2 + 3); });
+  });
+}
+
+TEST(OmpFor, StaticScheduleCoversRangeExactlyOnce) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    constexpr std::int64_t kN = 1000;
+    auto marks = team.shared_array<std::uint32_t>(kN);
+    team.parallel_for(0, kN, [=](Par&, std::int64_t i) {
+      marks[static_cast<std::size_t>(i)] = marks[static_cast<std::size_t>(i)] + 1;
+    });
+    for (std::int64_t i = 0; i < kN; ++i)
+      ASSERT_EQ(marks[static_cast<std::size_t>(i)], 1u) << "i=" << i;
+  });
+}
+
+TEST(OmpFor, StaticChunkedCoversRange) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    constexpr std::int64_t kN = 100;
+    auto owner = team.shared_array<std::uint32_t>(kN);
+    ForOpts opts;
+    opts.chunk = 7;
+    team.parallel_for(
+        0, kN,
+        [=](Par& p, std::int64_t i) { owner[static_cast<std::size_t>(i)] = p.thread_num() + 1; },
+        opts);
+    for (std::int64_t i = 0; i < kN; ++i) ASSERT_NE(owner[static_cast<std::size_t>(i)], 0u);
+    // Chunk 7 round-robin: iterations 0..6 belong to thread 0, 7..13 to 1, ...
+    EXPECT_EQ(owner[0], 1u);
+    EXPECT_EQ(owner[7], 2u);
+    EXPECT_EQ(owner[14], 3u);
+    EXPECT_EQ(owner[21], 4u);
+    EXPECT_EQ(owner[28], 1u);
+  });
+}
+
+TEST(OmpFor, DynamicScheduleCoversRange) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    constexpr std::int64_t kN = 60;
+    auto marks = team.shared_array<std::uint32_t>(kN);
+    ForOpts opts;
+    opts.schedule = Schedule::kDynamic;
+    opts.chunk = 5;
+    team.parallel_for(
+        0, kN,
+        [=](Par&, std::int64_t i) { marks[static_cast<std::size_t>(i)] = marks[static_cast<std::size_t>(i)] + 1; },
+        opts);
+    for (std::int64_t i = 0; i < kN; ++i)
+      ASSERT_EQ(marks[static_cast<std::size_t>(i)], 1u) << "i=" << i;
+  });
+}
+
+TEST(OmpFor, EmptyAndTinyRanges) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    auto count = team.shared_scalar<std::uint64_t>(0);
+    team.parallel_for(0, 0, [=](Par&, std::int64_t) {
+      *count = 999;  // never reached
+    });
+    team.parallel_for(0, 2, [=](Par& p, std::int64_t) {
+      std::uint64_t one = 1;
+      p.reduce_sum(count, &one, 1);
+    });
+    EXPECT_EQ(*count, 2u);
+  });
+}
+
+TEST(OmpReduce, ScalarSumMatchesClosedForm) {
+  OmpRuntime rt(cfg(8));
+  rt.run([](Team& team) {
+    const std::int64_t n = 10000;
+    const auto sum = team.parallel_for_reduce_sum<std::int64_t>(
+        1, n + 1, [](Par&, std::int64_t i) { return i; });
+    EXPECT_EQ(sum, n * (n + 1) / 2);
+  });
+}
+
+TEST(OmpReduce, ArrayReductionExtension) {
+  // The paper extends reduction variables to arrays.
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    constexpr std::size_t kBins = 16;
+    auto hist = team.shared_array<std::uint64_t>(kBins);
+    team.parallel([=](Par& p) {
+      std::uint64_t local[kBins] = {};
+      auto [b, e] = p.static_range(0, 1024);
+      for (std::int64_t i = b; i < e; ++i) local[i % kBins] += 1;
+      p.reduce_sum(hist, local, kBins);
+    });
+    for (std::size_t k = 0; k < kBins; ++k) EXPECT_EQ(hist[k], 1024u / kBins);
+  });
+}
+
+TEST(OmpCritical, NamedCriticalsAreDisjointLocks) {
+  EXPECT_NE(critical_lock_id("queue"), critical_lock_id("pool"));
+  EXPECT_EQ(critical_lock_id("queue"), critical_lock_id("queue"));
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    auto counters = team.shared_array<std::uint64_t>(2);
+    team.parallel([=](Par& p) {
+      for (int i = 0; i < 10; ++i) {
+        p.critical("a", [&] { counters[0] = counters[0] + 1; });
+        p.critical("b", [&] { counters[1] = counters[1] + 1; });
+      }
+    });
+    EXPECT_EQ(counters[0], 40u);
+    EXPECT_EQ(counters[1], 40u);
+  });
+}
+
+TEST(OmpThreadPrivate, PersistsAcrossRegions) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    static ThreadPrivate<std::uint64_t>* tp = nullptr;
+    ThreadPrivate<std::uint64_t> storage(team.num_threads(), 0);
+    tp = &storage;
+    team.parallel([](Par& p) { tp->local(p) += p.thread_num() + 1; });
+    team.parallel([](Par& p) { tp->local(p) += p.thread_num() + 1; });
+    for (std::uint32_t t = 0; t < 4; ++t) EXPECT_EQ(storage.at(t), 2u * (t + 1));
+  });
+}
+
+TEST(OmpSync, BarrierInsideRegionOrdersPhases) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    auto a = team.shared_array<std::uint64_t>(4);
+    team.parallel([=](Par& p) {
+      a[p.thread_num()] = p.thread_num() + 100;
+      p.barrier();
+      const std::uint32_t peer = (p.thread_num() + 1) % p.num_threads();
+      EXPECT_EQ(a[peer], peer + 100u);
+    });
+  });
+}
+
+TEST(OmpSync, SemaphorePipelineAcrossThreads) {
+  OmpRuntime rt(cfg(2));
+  rt.run([](Team& team) {
+    auto cell = team.shared_scalar<std::uint64_t>(0);
+    team.parallel([=](Par& p) {
+      if (p.thread_num() == 0) {
+        for (int i = 1; i <= 5; ++i) {
+          *cell = static_cast<std::uint64_t>(i);
+          p.sema_signal(0);
+          p.sema_wait(1);
+        }
+      } else {
+        for (int i = 1; i <= 5; ++i) {
+          p.sema_wait(0);
+          EXPECT_EQ(*cell, static_cast<std::uint64_t>(i));
+          p.sema_signal(1);
+        }
+      }
+    });
+  });
+}
+
+TEST(OmpSync, MasterConstructRunsOnce) {
+  OmpRuntime rt(cfg(4));
+  rt.run([](Team& team) {
+    auto c = team.shared_scalar<std::uint64_t>(0);
+    team.parallel([=](Par& p) {
+      p.master([&] { *c = *c + 1; });
+      p.barrier();
+      EXPECT_EQ(*c, 1u);
+    });
+  });
+}
+
+TEST(OmpTraffic, RegionsCostForkJoinMessages) {
+  OmpRuntime rt(cfg(8));
+  rt.run([](Team& team) {
+    team.parallel([](Par&) {});
+    team.parallel([](Par&) {});
+  });
+  const auto t = rt.traffic();
+  EXPECT_EQ(t.messages_by_type[tmk::kFork], 2u * 7u);
+  EXPECT_EQ(t.messages_by_type[tmk::kJoin], 2u * 7u);
+}
+
+}  // namespace
+}  // namespace now::omp

@@ -1,0 +1,138 @@
+// Tests for the paper's two-phase inter-procedural shared-variable analysis.
+#include <gtest/gtest.h>
+
+#include "ompcc/analysis.h"
+#include "ompcc/parser.h"
+
+namespace now::ompcc {
+namespace {
+
+AnalysisResult run(const std::string& src) { return analyze(parse_source(src)); }
+
+TEST(Phase1, DirectSharedClauseMarksGlobal) {
+  auto an = run(
+      "int a[8];\n"
+      "int b[8];\n"
+      "int main() {\n"
+      "#pragma omp parallel for shared(a)\n"
+      "  for (int i = 0; i < 8; i++) { a[i] = i; }\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_TRUE(an.ok());
+  EXPECT_TRUE(an.shared_globals.count("a"));
+  EXPECT_FALSE(an.shared_globals.count("b"));  // private by default
+}
+
+TEST(Phase1, SharedFlowsThroughCallChainToActualArgument) {
+  // The paper's phase-1 scenario: a pointer passed down a call chain is
+  // marked shared in the callee; the actual location must become shared.
+  auto an = run(
+      "double data[64];\n"
+      "void leaf(double* v) {\n"
+      "#pragma omp parallel for shared(v)\n"
+      "  for (int i = 0; i < 64; i++) { v[i] = 1.0; }\n"
+      "}\n"
+      "void mid(double* w) { leaf(w); }\n"
+      "int main() { mid(data); return 0; }\n");
+  ASSERT_TRUE(an.ok());
+  EXPECT_TRUE(an.shared_globals.count("data"));
+  ASSERT_TRUE(an.shared_params.count("leaf"));
+  EXPECT_TRUE(an.shared_params.at("leaf").count(0));
+  ASSERT_TRUE(an.shared_params.count("mid"));
+  EXPECT_TRUE(an.shared_params.at("mid").count(0));
+}
+
+TEST(Phase1, AddressOfScalarMarksTheScalar) {
+  auto an = run(
+      "long total;\n"
+      "void accumulate(long* t) {\n"
+      "#pragma omp parallel shared(t)\n"
+      "  { t[0] = t[0] + 1; }\n"
+      "}\n"
+      "int main() { accumulate(&total); return 0; }\n");
+  ASSERT_TRUE(an.ok());
+  EXPECT_TRUE(an.shared_globals.count("total"));
+}
+
+TEST(Phase1, CalleeFirstOrder) {
+  auto an = run(
+      "void c() { }\n"
+      "void b() { c(); }\n"
+      "void a() { b(); }\n"
+      "int main() { a(); return 0; }\n");
+  ASSERT_TRUE(an.ok());
+  const auto& order = an.callee_first_order;
+  auto pos = [&](const std::string& f) {
+    return std::find(order.begin(), order.end(), f) - order.begin();
+  };
+  EXPECT_LT(pos("c"), pos("b"));
+  EXPECT_LT(pos("b"), pos("a"));
+  EXPECT_LT(pos("a"), pos("main"));
+}
+
+TEST(Phase1, RecursionRejected) {
+  auto an = run("void f() { f(); } int main() { f(); return 0; }");
+  EXPECT_FALSE(an.ok());
+  EXPECT_NE(an.errors[0].find("recursion"), std::string::npos);
+}
+
+TEST(Phase2, ScalarSharedAndPrivateIsRedeclared) {
+  // "Otherwise the variable is redeclared in the parallel region in which
+  //  it is marked private."
+  auto an = run(
+      "double t;\n"
+      "int main() {\n"
+      "#pragma omp parallel shared(t)\n"
+      "  { t = 1.0; }\n"
+      "#pragma omp parallel private(t)\n"
+      "  { t = 2.0; }\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_TRUE(an.ok());
+  EXPECT_TRUE(an.shared_globals.count("t"));
+  EXPECT_TRUE(an.redeclared.count("t"));
+}
+
+TEST(Phase2, PointerSharedAndPrivateIsAnError) {
+  // "an error is given if the variable is a pointer"
+  auto an = run(
+      "double* p;\n"
+      "int main() {\n"
+      "#pragma omp parallel shared(p)\n"
+      "  { }\n"
+      "#pragma omp parallel private(p)\n"
+      "  { }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_FALSE(an.ok());
+  ASSERT_EQ(an.errors.size(), 1u);
+  EXPECT_NE(an.errors[0].find("pointer"), std::string::npos);
+}
+
+TEST(Phase2, PrivateOnlyVariableIsNotShared) {
+  auto an = run(
+      "double t;\n"
+      "int main() {\n"
+      "#pragma omp parallel private(t)\n"
+      "  { t = 2.0; }\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_TRUE(an.ok());
+  EXPECT_FALSE(an.shared_globals.count("t"));
+  EXPECT_TRUE(an.redeclared.empty());
+}
+
+TEST(Reduction, ReductionVariableBecomesShared) {
+  auto an = run(
+      "double s;\n"
+      "int main() {\n"
+      "#pragma omp parallel for reduction(+: s)\n"
+      "  for (int i = 0; i < 10; i++) { s += 1.0; }\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_TRUE(an.ok());
+  EXPECT_TRUE(an.shared_globals.count("s"));
+}
+
+}  // namespace
+}  // namespace now::ompcc

@@ -1,0 +1,147 @@
+// Structural checks on the emitted C++ plus a full compile-and-run
+// integration test against the real runtime libraries.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ompcc/codegen.h"
+
+namespace now::ompcc {
+namespace {
+
+std::string gen(const std::string& src) {
+  std::string cpp;
+  std::vector<std::string> errors;
+  const bool ok = translate(src, cpp, errors);
+  EXPECT_TRUE(ok) << (errors.empty() ? "" : errors[0]);
+  return cpp;
+}
+
+constexpr const char* kPiProgram = R"(
+double pi;
+int main() {
+  int steps = 100000;
+#pragma omp parallel for reduction(+: pi)
+  for (int i = 0; i < 100000; i++) {
+    double x = (i + 0.5) / 100000;
+    pi += 4.0 / (1.0 + x * x);
+  }
+  pi = pi / 100000;
+  print(pi);
+  return 0;
+}
+)";
+
+TEST(Codegen, SharedGlobalsBecomeGptrs) {
+  const std::string cpp = gen(
+      "int a[16];\n"
+      "int main() {\n"
+      "#pragma omp parallel for shared(a)\n"
+      "  for (int i = 0; i < 16; i++) { a[i] = i; }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_NE(cpp.find("gptr<std::int32_t> a;"), std::string::npos);
+  EXPECT_NE(cpp.find("team.shared_array<std::int32_t>(16)"), std::string::npos);
+  EXPECT_NE(cpp.find("g_team->parallel_for(0, 16"), std::string::npos);
+}
+
+TEST(Codegen, NonSharedGlobalsAreThreadLocal) {
+  const std::string cpp = gen(
+      "int scratch[4];\n"
+      "int main() { scratch[0] = 1; return 0; }\n");
+  EXPECT_NE(cpp.find("thread_local std::int32_t scratch[4];"), std::string::npos);
+}
+
+TEST(Codegen, ReductionGetsSharedCellAndLocalPartial) {
+  const std::string cpp = gen(kPiProgram);
+  EXPECT_NE(cpp.find("now_red_pi"), std::string::npos);
+  EXPECT_NE(cpp.find("now_local_pi"), std::string::npos);
+  EXPECT_NE(cpp.find("reduce_sum"), std::string::npos);
+}
+
+TEST(Codegen, SharedParamBecomesGptrParameter) {
+  const std::string cpp = gen(
+      "double data[8];\n"
+      "void kernel(double* v) {\n"
+      "#pragma omp parallel for shared(v)\n"
+      "  for (int i = 0; i < 8; i++) { v[i] = 2.0; }\n"
+      "}\n"
+      "int main() { kernel(data); return 0; }\n");
+  EXPECT_NE(cpp.find("void kernel(gptr<double> v)"), std::string::npos);
+  EXPECT_NE(cpp.find("kernel(g_shared.data)"), std::string::npos);
+}
+
+TEST(Codegen, DirectivesLowerToRuntimeCalls) {
+  const std::string cpp = gen(
+      "int a[8];\n"
+      "int main() {\n"
+      "#pragma omp parallel shared(a)\n"
+      "  {\n"
+      "#pragma omp critical(q)\n"
+      "    { a[0] = a[0] + 1; }\n"
+      "#pragma omp barrier\n"
+      "#pragma omp sema_signal(1)\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_NE(cpp.find("now_par.critical(\"q\""), std::string::npos);
+  EXPECT_NE(cpp.find("now_par.barrier();"), std::string::npos);
+  EXPECT_NE(cpp.find("now_par.sema_signal(1);"), std::string::npos);
+}
+
+TEST(Codegen, RejectedProgramReportsErrors) {
+  std::string cpp;
+  std::vector<std::string> errors;
+  const bool ok = translate(
+      "double* p;\n"
+      "int main() {\n"
+      "#pragma omp parallel shared(p)\n"
+      "  { }\n"
+      "#pragma omp parallel private(p)\n"
+      "  { }\n"
+      "  return 0;\n"
+      "}\n",
+      cpp, errors);
+  EXPECT_FALSE(ok);
+  ASSERT_FALSE(errors.empty());
+}
+
+#ifndef NOW_SRC_DIR
+#define NOW_SRC_DIR ""
+#endif
+#ifndef NOW_LIB_DIR
+#define NOW_LIB_DIR ""
+#endif
+
+// End-to-end: translate the pi program, compile it with the host compiler
+// against the built runtime libraries, run it on 4 simulated workstations
+// and check the printed digits.
+TEST(CodegenIntegration, TranslatedPiProgramComputesPi) {
+  if (std::system("g++ --version > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "no host compiler";
+  const std::string cpp = gen(kPiProgram);
+  const std::string dir = ::testing::TempDir();
+  const std::string src_path = dir + "/pi_gen.cpp";
+  const std::string bin_path = dir + "/pi_gen";
+  {
+    std::ofstream out(src_path);
+    out << cpp;
+  }
+  const std::string compile =
+      "g++ -std=c++20 -O1 -I " + std::string(NOW_SRC_DIR) + " -o " + bin_path +
+      " " + src_path + " " + std::string(NOW_LIB_DIR) + "/tmk/libnow_tmk.a " +
+      std::string(NOW_LIB_DIR) + "/common/libnow_common.a -lpthread 2>&1";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << compile;
+  const std::string run_cmd =
+      "NOW_NODES=4 " + bin_path + " > " + dir + "/pi_out.txt 2>&1";
+  ASSERT_EQ(std::system(run_cmd.c_str()), 0);
+  std::ifstream result(dir + "/pi_out.txt");
+  double value = 0;
+  result >> value;
+  EXPECT_NEAR(value, 3.14159265, 1e-4);
+}
+
+}  // namespace
+}  // namespace now::ompcc

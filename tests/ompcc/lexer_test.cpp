@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "ompcc/token.h"
+
+namespace now::ompcc {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto toks = lex("int foo; double bar2;");
+  ASSERT_EQ(toks.size(), 7u);  // incl. eof
+  EXPECT_EQ(toks[0].kind, Tok::kInt);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[3].kind, Tok::kDouble);
+  EXPECT_EQ(toks[4].text, "bar2");
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  auto toks = lex("42 3.5 1e-3");
+  EXPECT_EQ(toks[0].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].kind, Tok::kFloatLit);
+  EXPECT_EQ(toks[2].kind, Tok::kFloatLit);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  EXPECT_EQ(kinds("== != <= >= && || ++ -- += -="),
+            (std::vector<Tok>{Tok::kEq, Tok::kNe, Tok::kLe, Tok::kGe, Tok::kAndAnd,
+                              Tok::kOrOr, Tok::kPlusPlus, Tok::kMinusMinus,
+                              Tok::kPlusAssign, Tok::kMinusAssign, Tok::kEof}));
+}
+
+TEST(Lexer, PragmaFoldsIntroducerAndEndsAtNewline) {
+  auto toks = lex("#pragma omp parallel shared(a)\nint x;");
+  EXPECT_EQ(toks[0].kind, Tok::kPragma);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);  // parallel
+  EXPECT_EQ(toks[1].text, "parallel");
+  // ... shared ( a )
+  EXPECT_EQ(toks[6].kind, Tok::kPragmaEnd);
+  EXPECT_EQ(toks[7].kind, Tok::kInt);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = lex("int a; // trailing\n/* block\n comment */ int b;");
+  EXPECT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[4].text, "b");
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto toks = lex("int a;\nint b;\n\nint c;");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[3].line, 2);
+  EXPECT_EQ(toks[6].line, 4);
+}
+
+TEST(LexerDeathTest, RejectsNonOmpPragma) {
+  EXPECT_DEATH(lex("#pragma once\n"), "pragma omp");
+}
+
+TEST(LexerDeathTest, RejectsStrayCharacter) {
+  EXPECT_DEATH(lex("int a @ b;"), "unexpected character");
+}
+
+}  // namespace
+}  // namespace now::ompcc

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "ompcc/parser.h"
+
+namespace now::ompcc {
+namespace {
+
+TEST(Parser, GlobalsAndArrays) {
+  auto prog = parse_source("int n = 4; double a[100]; int* p;");
+  ASSERT_EQ(prog.globals.size(), 3u);
+  EXPECT_EQ(prog.globals[0].name, "n");
+  ASSERT_TRUE(prog.globals[0].init != nullptr);
+  EXPECT_TRUE(prog.globals[1].type.is_array);
+  EXPECT_EQ(prog.globals[1].type.array_size, 100);
+  EXPECT_EQ(prog.globals[2].type.pointer_depth, 1);
+}
+
+TEST(Parser, FunctionWithParams) {
+  auto prog = parse_source("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(prog.functions.size(), 1u);
+  const auto& fn = prog.functions[0];
+  EXPECT_EQ(fn.name, "add");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[1].name, "b");
+  ASSERT_EQ(fn.body->body.size(), 1u);
+  EXPECT_EQ(fn.body->body[0]->kind, Stmt::kReturn);
+}
+
+TEST(Parser, ArrayParamDecaysToPointer) {
+  auto prog = parse_source("void f(double a[]) { a[0] = 1.0; }");
+  EXPECT_EQ(prog.functions[0].params[0].type.pointer_depth, 1);
+}
+
+TEST(Parser, ControlFlow) {
+  auto prog = parse_source(
+      "void f() { if (1 < 2) { } else { } while (0) { } "
+      "for (int i = 0; i < 10; i++) { } }");
+  const auto& body = prog.functions[0].body->body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->kind, Stmt::kIf);
+  EXPECT_TRUE(body[0]->else_body != nullptr);
+  EXPECT_EQ(body[1]->kind, Stmt::kWhile);
+  EXPECT_EQ(body[2]->kind, Stmt::kFor);
+  EXPECT_EQ(body[2]->for_init->decl_name, "i");
+}
+
+TEST(Parser, ParallelDirectiveWithClauses) {
+  auto prog = parse_source(
+      "int a[8];\n"
+      "void f() {\n"
+      "#pragma omp parallel shared(a) firstprivate(x) reduction(+: s)\n"
+      "  { a[0] = 1; }\n"
+      "}\n");
+  const auto& s = *prog.functions[0].body->body[0];
+  EXPECT_EQ(s.kind, Stmt::kParallel);
+  ASSERT_EQ(s.clauses.size(), 3u);
+  EXPECT_EQ(s.clauses[0].kind, Clause::kShared);
+  EXPECT_EQ(s.clauses[0].vars, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(s.clauses[1].kind, Clause::kFirstPrivate);
+  EXPECT_EQ(s.clauses[2].kind, Clause::kReduction);
+  EXPECT_EQ(s.clauses[2].reduction_op, "+");
+}
+
+TEST(Parser, ParallelForAnnotatesLoop) {
+  auto prog = parse_source(
+      "int a[8];\n"
+      "void f() {\n"
+      "#pragma omp parallel for shared(a)\n"
+      "  for (int i = 0; i < 8; i++) { a[i] = i; }\n"
+      "}\n");
+  const auto& s = *prog.functions[0].body->body[0];
+  EXPECT_EQ(s.kind, Stmt::kParallelFor);
+  EXPECT_EQ(s.dir_body->kind, Stmt::kFor);
+}
+
+TEST(Parser, SyncDirectives) {
+  auto prog = parse_source(
+      "void f() {\n"
+      "#pragma omp barrier\n"
+      "#pragma omp sema_wait(3)\n"
+      "#pragma omp sema_signal(4)\n"
+      "#pragma omp cond_wait(0)\n"
+      "#pragma omp cond_signal(0)\n"
+      "#pragma omp cond_broadcast(1)\n"
+      "#pragma omp flush\n"
+      "}\n");
+  const auto& body = prog.functions[0].body->body;
+  ASSERT_EQ(body.size(), 7u);
+  EXPECT_EQ(body[0]->kind, Stmt::kBarrier);
+  EXPECT_EQ(body[1]->kind, Stmt::kSemaWait);
+  EXPECT_EQ(body[1]->sync_id, 3);
+  EXPECT_EQ(body[2]->kind, Stmt::kSemaSignal);
+  EXPECT_EQ(body[3]->kind, Stmt::kCondWait);
+  EXPECT_EQ(body[4]->kind, Stmt::kCondSignal);
+  EXPECT_EQ(body[5]->kind, Stmt::kCondBroadcast);
+  EXPECT_EQ(body[6]->kind, Stmt::kFlush);
+}
+
+TEST(Parser, CriticalWithAndWithoutName) {
+  auto prog = parse_source(
+      "void f() {\n"
+      "#pragma omp critical(queue)\n"
+      "  { }\n"
+      "#pragma omp critical\n"
+      "  { }\n"
+      "}\n");
+  EXPECT_EQ(prog.functions[0].body->body[0]->critical_name, "queue");
+  EXPECT_EQ(prog.functions[0].body->body[1]->critical_name, "");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto prog = parse_source("int g() { return 1 + 2 * 3 < 4 && 5 == 6; }");
+  const Expr& e = *prog.functions[0].body->body[0]->expr;
+  // ((1 + (2*3)) < 4) && (5 == 6)
+  EXPECT_EQ(e.text, "&&");
+  EXPECT_EQ(e.lhs->text, "<");
+  EXPECT_EQ(e.lhs->lhs->text, "+");
+  EXPECT_EQ(e.lhs->lhs->rhs->text, "*");
+  EXPECT_EQ(e.rhs->text, "==");
+}
+
+TEST(Parser, CallsAndIndexing) {
+  auto prog = parse_source("void f(int* a) { g(a[1], 2); }");
+  const Expr& e = *prog.functions[0].body->body[0]->expr;
+  EXPECT_EQ(e.kind, Expr::kCall);
+  EXPECT_EQ(e.text, "g");
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0]->kind, Expr::kIndex);
+}
+
+TEST(ParserDeathTest, SyntaxErrorHasLineNumber) {
+  EXPECT_DEATH(parse_source("int f() { return ; ; }"), "line 1");
+}
+
+}  // namespace
+}  // namespace now::ompcc

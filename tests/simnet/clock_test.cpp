@@ -1,0 +1,72 @@
+#include "simnet/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace now::sim {
+namespace {
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.advance_ns(1000);
+  c.advance_us(2.0);
+  EXPECT_EQ(c.now_ns(), 3000u);
+  EXPECT_DOUBLE_EQ(c.now_us(), 3.0);
+}
+
+TEST(VirtualClock, AdvanceToNeverMovesBackwards) {
+  VirtualClock c;
+  c.advance_ns(5000);
+  c.advance_to_ns(3000);
+  EXPECT_EQ(c.now_ns(), 5000u);
+  c.advance_to_ns(9000);
+  EXPECT_EQ(c.now_ns(), 9000u);
+}
+
+TEST(VirtualClock, ConcurrentAdvanceIsLossless) {
+  VirtualClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.advance_ns(3);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.now_ns(), 8u * 10000u * 3u);
+}
+
+TEST(VirtualClock, ConcurrentAdvanceToTakesMax) {
+  VirtualClock c;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t)
+    threads.emplace_back([&c, t] { c.advance_to_ns(static_cast<std::uint64_t>(t) * 100); });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.now_ns(), 800u);
+}
+
+TEST(CpuMeter, MeasuresBusyWork) {
+  CpuMeter m;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
+  EXPECT_GT(m.take_delta_ns(), 0u);
+}
+
+TEST(CpuMeter, RebaseDiscardsElapsedTime) {
+  CpuMeter m;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
+  m.rebase();
+  // Whatever little work happens between rebase and sampling is tiny
+  // compared to the loop above.
+  EXPECT_LT(m.take_delta_ns(), 5000000u);
+}
+
+TEST(TimeModel, ScalesHostTime) {
+  TimeModel tm;
+  tm.cpu_scale = 10.0;
+  EXPECT_EQ(tm.scale_ns(100), 1000u);
+}
+
+}  // namespace
+}  // namespace now::sim

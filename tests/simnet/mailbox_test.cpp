@@ -1,0 +1,70 @@
+#include "simnet/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace now::sim {
+namespace {
+
+Message make(std::uint16_t type) {
+  Message m;
+  m.type = type;
+  return m;
+}
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox box;
+  box.push(make(1));
+  box.push(make(2));
+  box.push(make(3));
+  EXPECT_EQ(box.pop()->type, 1);
+  EXPECT_EQ(box.pop()->type, 2);
+  EXPECT_EQ(box.pop()->type, 3);
+}
+
+TEST(Mailbox, TryPopEmptyReturnsNullopt) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_pop().has_value());
+}
+
+TEST(Mailbox, BlockingPopWakesOnPush) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.push(make(7));
+  });
+  auto m = box.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 7);
+  producer.join();
+}
+
+TEST(Mailbox, CloseWakesBlockedPopper) {
+  Mailbox box;
+  std::thread closer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.close();
+  });
+  EXPECT_FALSE(box.pop().has_value());
+  closer.join();
+}
+
+TEST(Mailbox, CloseDrainsQueueFirst) {
+  Mailbox box;
+  box.push(make(1));
+  box.close();
+  EXPECT_TRUE(box.pop().has_value());
+  EXPECT_FALSE(box.pop().has_value());
+}
+
+TEST(Mailbox, SizeReflectsQueue) {
+  Mailbox box;
+  EXPECT_EQ(box.size(), 0u);
+  box.push(make(1));
+  box.push(make(2));
+  EXPECT_EQ(box.size(), 2u);
+}
+
+}  // namespace
+}  // namespace now::sim

@@ -1,0 +1,46 @@
+#include "simnet/model.h"
+
+#include <gtest/gtest.h>
+
+namespace now::sim {
+namespace {
+
+TEST(NetworkModel, SmallMessageDominatedByLatency) {
+  NetworkModel m = NetworkModel::udp_ethernet100();
+  // A 4-byte message costs roughly the one-way latency: the paper's
+  // small-message UDP round trip (~130 us) is two of these.
+  EXPECT_NEAR(m.transit_us(4), m.latency_us, 6.0);
+}
+
+TEST(NetworkModel, LargeMessageDominatedByBandwidth) {
+  NetworkModel m = NetworkModel::udp_ethernet100();
+  const double t64k = m.transit_us(64 * 1024);
+  // 64 KiB at ~88 Mbit/s is ~6 ms, far above the latency floor.
+  EXPECT_GT(t64k, 5000.0);
+  EXPECT_LT(t64k, 8000.0);
+}
+
+TEST(NetworkModel, TransitMonotonicInSize) {
+  NetworkModel m;
+  EXPECT_LT(m.transit_us(10), m.transit_us(100));
+  EXPECT_LT(m.transit_us(100), m.transit_us(10000));
+}
+
+TEST(NetworkModel, TcpHasHigherPerMessageCost) {
+  const auto udp = NetworkModel::udp_ethernet100();
+  const auto tcp = NetworkModel::tcp_ethernet100();
+  EXPECT_GT(tcp.transit_us(4), udp.transit_us(4));
+}
+
+TEST(NetworkModel, WireBytesIncludeHeader) {
+  NetworkModel m;
+  EXPECT_EQ(m.wire_bytes(100), 100u + m.header_bytes);
+}
+
+TEST(TimeModelTest, DefaultScaleIsPositive) {
+  TimeModel tm;
+  EXPECT_GT(tm.cpu_scale, 1.0);
+}
+
+}  // namespace
+}  // namespace now::sim

@@ -1,0 +1,106 @@
+#include "simnet/network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace now::sim {
+namespace {
+
+Message make(NodeId src, NodeId dst, std::uint16_t type, std::size_t payload,
+             std::uint64_t send_ts = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = type;
+  m.send_ts_ns = send_ts;
+  m.payload.resize(payload);
+  return m;
+}
+
+TEST(Network, DeliversToDestination) {
+  Network net(4, NetworkModel{});
+  net.send(make(0, 2, 5, 16));
+  auto m = net.recv(2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 0u);
+  EXPECT_EQ(m->type, 5);
+  EXPECT_FALSE(net.try_recv(1).has_value());
+}
+
+TEST(Network, ArrivalTimestampAddsTransit) {
+  NetworkModel model;
+  Network net(2, model);
+  net.send(make(0, 1, 1, 100, /*send_ts=*/1000000));
+  auto m = net.recv(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->arrive_ts_ns, 1000000 + model.transit_ns(100));
+}
+
+TEST(Network, TrafficCountsMessagesAndBytes) {
+  NetworkModel model;
+  Network net(2, model);
+  net.send(make(0, 1, 3, 100));
+  net.send(make(1, 0, 4, 50));
+  auto t = net.traffic();
+  EXPECT_EQ(t.messages, 2u);
+  EXPECT_EQ(t.payload_bytes, 150u);
+  EXPECT_EQ(t.wire_bytes, 150u + 2 * model.header_bytes);
+  EXPECT_EQ(t.messages_by_type[3], 1u);
+  EXPECT_EQ(t.messages_by_type[4], 1u);
+}
+
+TEST(Network, ResetTrafficZeroes) {
+  Network net(2, NetworkModel{});
+  net.send(make(0, 1, 1, 10));
+  net.reset_traffic();
+  EXPECT_EQ(net.traffic().messages, 0u);
+}
+
+TEST(Network, PerSenderFifo) {
+  Network net(2, NetworkModel{});
+  for (int i = 0; i < 100; ++i) {
+    auto m = make(0, 1, 1, 0);
+    m.seq = static_cast<std::uint64_t>(i);
+    net.send(std::move(m));
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto m = net.recv(1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Network, CloseAllUnblocksReceivers) {
+  Network net(2, NetworkModel{});
+  std::thread t([&net] { EXPECT_FALSE(net.recv(1).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  net.close_all();
+  t.join();
+}
+
+TEST(Network, SelfSendAllowedAndOffTheWire) {
+  Network net(2, NetworkModel{});
+  net.send(make(1, 1, 9, 8, /*send_ts=*/100));
+  auto m = net.recv(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 1u);
+  // Local delivery: token delay, no wire accounting.
+  EXPECT_EQ(m->arrive_ts_ns, 100u + Network::kLocalDeliveryNs);
+  EXPECT_EQ(net.traffic().messages, 0u);
+}
+
+TEST(Network, ConcurrentSendersAllDelivered) {
+  Network net(5, NetworkModel{});
+  std::vector<std::thread> senders;
+  for (NodeId s = 0; s < 4; ++s)
+    senders.emplace_back([&net, s] {
+      for (int i = 0; i < 250; ++i) net.send(make(s, 4, 1, 4));
+    });
+  for (auto& t : senders) t.join();
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(net.recv(4).has_value());
+  EXPECT_FALSE(net.try_recv(4).has_value());
+}
+
+}  // namespace
+}  // namespace now::sim

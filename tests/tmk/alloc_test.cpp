@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "tmk/runtime.h"
+
+namespace now::tmk {
+namespace {
+
+DsmConfig tiny_config(std::uint32_t nodes = 1, std::size_t heap = 1 << 20) {
+  DsmConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.heap_bytes = heap;
+  return cfg;
+}
+
+TEST(Allocator, OffsetsStartAfterRootPage) {
+  DsmRuntime rt(tiny_config());
+  EXPECT_GE(rt.allocator_alloc(16, 64), DsmRuntime::kHeapStart);
+}
+
+TEST(Allocator, AllocationsDoNotOverlap) {
+  DsmRuntime rt(tiny_config());
+  const auto a = rt.allocator_alloc(100, 64);
+  const auto b = rt.allocator_alloc(100, 64);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(Allocator, AlignmentHonored) {
+  DsmRuntime rt(tiny_config());
+  rt.allocator_alloc(1, 64);
+  const auto a = rt.allocator_alloc(16, 4096);
+  EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(Allocator, FreeEnablesReuse) {
+  DsmRuntime rt(tiny_config());
+  const auto a = rt.allocator_alloc(256, 64);
+  rt.allocator_free(a);
+  const auto b = rt.allocator_alloc(256, 64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AllocatorDeathTest, DoubleFreeAborts) {
+  DsmRuntime rt(tiny_config());
+  const auto a = rt.allocator_alloc(64, 64);
+  rt.allocator_free(a);
+  EXPECT_DEATH(rt.allocator_free(a), "unallocated");
+}
+
+TEST(AllocatorDeathTest, ExhaustionAborts) {
+  DsmRuntime rt(tiny_config(1, 1 << 20));
+  EXPECT_DEATH(rt.allocator_alloc((1 << 20) + 4096, 64), "exhausted");
+}
+
+TEST(Allocator, RpcPathFromNodeWorks) {
+  DsmRuntime rt(tiny_config(2, 1 << 20));
+  rt.run_spmd([](Tmk& tmk) {
+    if (tmk.id() == 1) {
+      auto p = tmk.alloc(128);
+      EXPECT_FALSE(p.is_null());
+      tmk.free(p);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace now::tmk

@@ -1,0 +1,122 @@
+#include "tmk/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "tmk/config.h"
+
+namespace now::tmk {
+namespace {
+
+using Page = std::vector<std::uint8_t>;
+
+Page zero_page() { return Page(kPageSize, 0); }
+
+TEST(Diff, IdenticalPagesProduceEmptyDiff) {
+  Page a = zero_page(), b = zero_page();
+  EXPECT_TRUE(diff_create(a.data(), b.data(), kPageSize).empty());
+}
+
+TEST(Diff, SingleByteChange) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[100] = 0xab;
+  auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  EXPECT_EQ(d.size(), 4u + 1u);  // header + one byte
+  Page target = zero_page();
+  EXPECT_EQ(diff_apply(target.data(), kPageSize, d), 1u);
+  EXPECT_EQ(target[100], 0xab);
+}
+
+TEST(Diff, NearbyRunsCoalesce) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[10] = 1;
+  cur[14] = 1;  // gap of 3 < merge_gap: one run expected
+  auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  EXPECT_EQ(d.size(), 4u + 5u);
+}
+
+TEST(Diff, DistantRunsStaySeparate) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[10] = 1;
+  cur[200] = 1;
+  auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  EXPECT_EQ(d.size(), 2 * (4u + 1u));
+}
+
+TEST(Diff, LastByteOfPage) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[kPageSize - 1] = 7;
+  auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  Page target = zero_page();
+  diff_apply(target.data(), kPageSize, d);
+  EXPECT_EQ(target[kPageSize - 1], 7);
+}
+
+TEST(Diff, WholePageChanged) {
+  Page twin = zero_page(), cur(kPageSize, 0xff);
+  auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  EXPECT_EQ(diff_patched_bytes(d), kPageSize);
+  Page target = zero_page();
+  diff_apply(target.data(), kPageSize, d);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, ConcurrentDisjointDiffsMerge) {
+  // The multiple-writer protocol: two writers diff against the same twin and
+  // both diffs apply to any copy, in either order.
+  Page twin = zero_page();
+  Page w1 = twin, w2 = twin;
+  for (int i = 0; i < 128; ++i) w1[i] = 0x11;
+  for (int i = 2048; i < 2048 + 128; ++i) w2[i] = 0x22;
+  auto d1 = diff_create(twin.data(), w1.data(), kPageSize);
+  auto d2 = diff_create(twin.data(), w2.data(), kPageSize);
+
+  Page merged_a = twin, merged_b = twin;
+  diff_apply(merged_a.data(), kPageSize, d1);
+  diff_apply(merged_a.data(), kPageSize, d2);
+  diff_apply(merged_b.data(), kPageSize, d2);
+  diff_apply(merged_b.data(), kPageSize, d1);
+  EXPECT_EQ(merged_a, merged_b);
+  EXPECT_EQ(merged_a[0], 0x11);
+  EXPECT_EQ(merged_a[2048], 0x22);
+}
+
+// Property sweep: random write patterns round-trip exactly.
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RandomPatternRoundTrips) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Page twin(kPageSize);
+  for (auto& b : twin) b = static_cast<std::uint8_t>(rng.next_u64());
+  Page cur = twin;
+  const int writes = 1 + static_cast<int>(rng.next_below(200));
+  for (int i = 0; i < writes; ++i) {
+    const std::size_t off = rng.next_below(kPageSize);
+    const std::size_t len = 1 + rng.next_below(std::min<std::size_t>(64, kPageSize - off));
+    for (std::size_t k = 0; k < len; ++k)
+      cur[off + k] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  Page target = twin;
+  diff_apply(target.data(), kPageSize, d);
+  EXPECT_EQ(target, cur) << "seed " << GetParam();
+  // A diff never patches less than the true difference.
+  std::size_t true_diff = 0;
+  for (std::size_t i = 0; i < kPageSize; ++i)
+    if (twin[i] != cur[i]) ++true_diff;
+  EXPECT_GE(diff_patched_bytes(d), true_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(0, 24));
+
+TEST(DiffDeathTest, CorruptDiffAborts) {
+  Page p = zero_page();
+  DiffBytes bogus = {0x01, 0x02, 0x03};  // truncated header
+  EXPECT_DEATH(diff_apply(p.data(), kPageSize, bogus), "corrupt diff");
+}
+
+}  // namespace
+}  // namespace now::tmk

@@ -1,0 +1,265 @@
+// Edge cases and failure injection for the DSM runtime: degenerate sizes,
+// runtime lifecycle, misuse aborts, and protocol corner cases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tmk/tmk.h"
+
+namespace now::tmk {
+namespace {
+
+DsmConfig cfg(std::uint32_t nodes, std::size_t heap = 4 << 20) {
+  DsmConfig c;
+  c.num_nodes = nodes;
+  c.heap_bytes = heap;
+  return c;
+}
+
+TEST(Lifecycle, SequentialRuntimesReuseTheFaultRegistry) {
+  for (int round = 0; round < 5; ++round) {
+    DsmRuntime rt(cfg(2));
+    rt.run_spmd([](Tmk& tmk) {
+      gptr<std::uint64_t> p(kPageSize);
+      if (tmk.id() == 0) *p = 7;
+      tmk.barrier();
+      EXPECT_EQ(*p, 7u);
+    });
+  }
+}
+
+TEST(Lifecycle, ConcurrentRuntimesCoexist) {
+  DsmRuntime a(cfg(2)), b(cfg(2));
+  a.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> p(kPageSize);
+    if (tmk.id() == 0) *p = 1;
+    tmk.barrier();
+    EXPECT_EQ(*p, 1u);
+  });
+  b.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> p(kPageSize);
+    if (tmk.id() == 0) *p = 2;
+    tmk.barrier();
+    EXPECT_EQ(*p, 2u);
+  });
+}
+
+TEST(Degenerate, SingleNodeRuntimeWorks) {
+  DsmRuntime rt(cfg(1));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> p(kPageSize);
+    *p = 42;
+    tmk.barrier();
+    tmk.lock_acquire(0);
+    *p = *p + 1;
+    tmk.lock_release(0);
+    tmk.barrier();
+    EXPECT_EQ(*p, 43u);
+  });
+  // Single-node barriers are self-sends: no wire traffic.
+  EXPECT_EQ(rt.traffic().messages, 0u);
+}
+
+TEST(Degenerate, ObjectStraddlingPageBoundary) {
+  DsmRuntime rt(cfg(2));
+  rt.run_spmd([](Tmk& tmk) {
+    // A 16-byte record crossing the page-1/page-2 boundary.
+    gptr<std::uint8_t> raw(2 * kPageSize - 8);
+    if (tmk.id() == 0)
+      for (int i = 0; i < 16; ++i) raw[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0xc0 + i);
+    tmk.barrier();
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(raw[static_cast<std::size_t>(i)], static_cast<std::uint8_t>(0xc0 + i));
+  });
+}
+
+TEST(Degenerate, MultiMegabyteTransfer) {
+  constexpr std::size_t kWords = (2 << 20) / 8;  // 2 MB
+  DsmRuntime rt(cfg(2, 16 << 20));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> big(kPageSize);
+    if (tmk.id() == 0)
+      for (std::size_t i = 0; i < kWords; ++i) big[i] = i * 2654435761u;
+    tmk.barrier();
+    if (tmk.id() == 1) {
+      // Sample across the whole range (every page).
+      for (std::size_t i = 0; i < kWords; i += 509)
+        ASSERT_EQ(big[i], i * 2654435761u);
+    }
+  });
+  EXPECT_GT(rt.traffic().payload_bytes, std::uint64_t{1} << 20);
+}
+
+TEST(Protocol, EightWritersOnePageEightReaders) {
+  // Every node writes a disjoint slice of one page, then every node reads
+  // every slice: the maximal multiple-writer merge.
+  DsmRuntime rt(cfg(8));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> page(kPageSize);  // 512 slots
+    const std::size_t base = tmk.id() * 64;
+    for (std::size_t k = 0; k < 64; ++k) page[base + k] = tmk.id() * 1000 + k;
+    tmk.barrier();
+    for (std::uint32_t n = 0; n < 8; ++n)
+      for (std::size_t k = 0; k < 64; ++k)
+        ASSERT_EQ(page[static_cast<std::size_t>(n) * 64 + k], n * 1000 + k);
+  });
+}
+
+TEST(Protocol, LockChainAcrossAllNodes) {
+  // The lock travels 0 -> 1 -> ... -> 7 with a counter increment each hop;
+  // knowledge must accumulate transitively along the grant chain.
+  DsmRuntime rt(cfg(8));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> counter(kPageSize);
+    for (std::uint32_t turn = 0; turn < 8; ++turn) {
+      if (turn == tmk.id()) {
+        tmk.lock_acquire(5);
+        EXPECT_EQ(*counter, turn);
+        *counter = *counter + 1;
+        tmk.lock_release(5);
+      }
+      tmk.barrier();
+    }
+    EXPECT_EQ(*counter, 8u);
+  });
+}
+
+TEST(Protocol, SemaphoreAsResourcePool) {
+  // Three credits, seven consumers: all pass, credits conserved.
+  DsmRuntime rt(cfg(8));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> in_use(kPageSize);
+    if (tmk.id() == 0)
+      for (int i = 0; i < 3; ++i) tmk.sema_signal(9);
+    tmk.barrier();
+    if (tmk.id() != 0) {
+      tmk.sema_wait(9);
+      tmk.lock_acquire(1);
+      *in_use = *in_use + 1;
+      EXPECT_LE(*in_use, 3u);
+      tmk.lock_release(1);
+      tmk.lock_acquire(1);
+      *in_use = *in_use - 1;
+      tmk.lock_release(1);
+      tmk.sema_signal(9);
+    }
+  });
+}
+
+TEST(Protocol, CondBroadcastWakesEveryWaiter) {
+  DsmRuntime rt(cfg(4));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> state(kPageSize);  // [waiting, go, woken]
+    if (tmk.id() != 0) {
+      tmk.lock_acquire(2);
+      state[0] = state[0] + 1;
+      while (state[1] == 0) tmk.cond_wait(2, 1);
+      state[2] = state[2] + 1;
+      tmk.lock_release(2);
+    } else {
+      for (;;) {
+        tmk.lock_acquire(2);
+        const bool all_waiting = state[0] == 3;
+        if (all_waiting) {
+          state[1] = 1;
+          tmk.cond_broadcast(2, 1);
+          tmk.lock_release(2);
+          break;
+        }
+        tmk.lock_release(2);
+      }
+    }
+    tmk.barrier();
+    EXPECT_EQ(state[2], 3u);
+  });
+}
+
+TEST(Protocol, FlushFromEveryNodeInTurn) {
+  DsmRuntime rt(cfg(4));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> cells(kPageSize);
+    for (std::uint32_t turn = 0; turn < 4; ++turn) {
+      if (turn == tmk.id()) {
+        cells[tmk.id()] = tmk.id() + 10;
+        tmk.flush();
+      }
+      tmk.barrier();
+      EXPECT_EQ(cells[turn], turn + 10u);
+    }
+  });
+}
+
+TEST(Protocol, RootSlotsPublishAllocations) {
+  DsmRuntime rt(cfg(4));
+  rt.run_spmd([](Tmk& tmk) {
+    if (tmk.id() == 0) {
+      auto arr = tmk.alloc_array<std::uint64_t>(8);
+      arr[3] = 333;
+      tmk.set_root(7, arr.cast<void>());
+    }
+    tmk.barrier();
+    auto arr = tmk.get_root<std::uint64_t>(7);
+    EXPECT_EQ(arr[3], 333u);
+  });
+}
+
+TEST(Stats, InvalidationsAndFetchesTrackProtocolActivity) {
+  DsmRuntime rt(cfg(4));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> p(kPageSize);
+    for (int round = 0; round < 3; ++round) {
+      if (tmk.id() == static_cast<std::uint32_t>(round)) *p = static_cast<std::uint64_t>(round);
+      tmk.barrier();
+      EXPECT_EQ(*p, static_cast<std::uint64_t>(round));
+      tmk.barrier();
+    }
+  });
+  const auto s = rt.total_stats();
+  EXPECT_GT(s.invalidations, 0u);
+  EXPECT_GT(s.diff_fetches, 0u);
+  EXPECT_EQ(s.barriers, 4u * 6u);
+}
+
+using EdgeDeathTest = ::testing::Test;
+
+TEST(EdgeDeathTest, RecursiveLockAcquireAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        DsmRuntime rt(cfg(2));
+        rt.run_spmd([](Tmk& tmk) {
+          if (tmk.id() == 0) {
+            tmk.lock_acquire(0);
+            tmk.lock_acquire(0);
+          }
+        });
+      },
+      "recursive acquire");
+}
+
+TEST(EdgeDeathTest, ReleasingUnheldLockAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        DsmRuntime rt(cfg(2));
+        rt.run_spmd([](Tmk& tmk) {
+          if (tmk.id() == 0) tmk.lock_release(3);
+        });
+      },
+      "unheld lock");
+}
+
+TEST(EdgeDeathTest, CondWaitOutsideCriticalAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        DsmRuntime rt(cfg(2));
+        rt.run_spmd([](Tmk& tmk) {
+          if (tmk.id() == 0) tmk.cond_wait(0, 0);
+        });
+      },
+      "outside the critical section");
+}
+
+}  // namespace
+}  // namespace now::tmk

@@ -1,0 +1,145 @@
+// Tmk_fork / Tmk_join tests: the OpenMP-style master/slave execution model,
+// firstprivate argument blobs, and visibility across fork and join.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tmk/tmk.h"
+
+namespace now::tmk {
+namespace {
+
+DsmConfig cfg(std::uint32_t nodes) {
+  DsmConfig c;
+  c.num_nodes = nodes;
+  c.heap_bytes = 4 << 20;
+  return c;
+}
+
+struct RegionArg {
+  gptr<std::uint64_t> out;
+  std::uint64_t scale;  // a "firstprivate" value
+};
+
+void region_fill(Tmk& tmk, const void* raw, std::size_t size) {
+  ASSERT_EQ(size, sizeof(RegionArg));
+  RegionArg arg;
+  std::memcpy(&arg, raw, sizeof arg);
+  arg.out[tmk.id()] = (tmk.id() + 1) * arg.scale;
+}
+
+TEST(ForkJoin, MasterSeesSlaveWritesAfterJoin) {
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    DsmRuntime rt(cfg(n));
+    rt.run_master([n](Tmk& tmk) {
+      auto out = tmk.alloc_array<std::uint64_t>(n);
+      RegionArg arg{out, 10};
+      tmk.fork(&region_fill, &arg, sizeof arg);
+      region_fill(tmk, &arg, sizeof arg);  // master participates
+      tmk.join();
+      for (std::uint32_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], (i + 1) * 10u) << "nodes=" << n;
+    });
+  }
+}
+
+void region_read_master_data(Tmk& tmk, const void* raw, std::size_t size) {
+  ASSERT_EQ(size, sizeof(gptr<std::uint64_t>));
+  gptr<std::uint64_t> data;
+  std::memcpy(&data, raw, sizeof data);
+  // The master initialized this before the fork; the fork's consistency
+  // records make it visible here.
+  EXPECT_EQ(data[0], 777u);
+  data[1 + tmk.id()] = data[0] + tmk.id();
+}
+
+TEST(ForkJoin, SequentialInitVisibleInParallelRegion) {
+  DsmRuntime rt(cfg(4));
+  rt.run_master([](Tmk& tmk) {
+    auto data = tmk.alloc_array<std::uint64_t>(16);
+    data[0] = 777;  // sequential-phase write by the master
+    tmk.fork(&region_read_master_data, &data, sizeof data);
+    region_read_master_data(tmk, &data, sizeof data);
+    tmk.join();
+    for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(data[1 + i], 777u + i);
+  });
+}
+
+void region_step(Tmk& tmk, const void* raw, std::size_t) {
+  struct A {
+    gptr<std::uint64_t> acc;
+    std::uint64_t step;
+  } arg;
+  std::memcpy(&arg, raw, sizeof arg);
+  arg.acc[tmk.id()] = arg.acc[tmk.id()] + arg.step;
+}
+
+TEST(ForkJoin, RepeatedRegionsAccumulate) {
+  DsmRuntime rt(cfg(4));
+  rt.run_master([](Tmk& tmk) {
+    auto acc = tmk.alloc_array<std::uint64_t>(4);
+    struct A {
+      gptr<std::uint64_t> acc;
+      std::uint64_t step;
+    };
+    for (std::uint64_t s = 1; s <= 5; ++s) {
+      A arg{acc, s};
+      tmk.fork(&region_step, &arg, sizeof arg);
+      region_step(tmk, &arg, sizeof arg);
+      tmk.join();
+    }
+    for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(acc[i], 15u);
+  });
+}
+
+TEST(ForkJoin, ForkJoinMessageCount) {
+  // A region costs (n-1) forks + (n-1) joins.
+  const std::uint32_t n = 8;
+  DsmRuntime rt(cfg(n));
+  rt.run_master([](Tmk& tmk) {
+    auto out = tmk.alloc_array<std::uint64_t>(8);
+    RegionArg arg{out, 3};
+    tmk.fork(&region_fill, &arg, sizeof arg);
+    region_fill(tmk, &arg, sizeof arg);
+    tmk.join();
+  });
+  const auto t = rt.traffic();
+  EXPECT_EQ(t.messages_by_type[kFork], n - 1);
+  EXPECT_EQ(t.messages_by_type[kJoin], n - 1);
+  EXPECT_EQ(t.messages_by_type[kShutdown], n - 1);
+}
+
+void region_with_barrier(Tmk& tmk, const void* raw, std::size_t) {
+  gptr<std::uint64_t> data;
+  std::memcpy(&data, raw, sizeof data);
+  data[tmk.id()] = tmk.id() + 1;
+  tmk.barrier();
+  // Everyone checks a neighbour's write inside the region.
+  const std::uint32_t peer = (tmk.id() + 1) % tmk.nprocs();
+  EXPECT_EQ(data[peer], peer + 1);
+}
+
+TEST(ForkJoin, BarriersInsideParallelRegion) {
+  DsmRuntime rt(cfg(4));
+  rt.run_master([](Tmk& tmk) {
+    auto data = tmk.alloc_array<std::uint64_t>(4);
+    tmk.fork(&region_with_barrier, &data, sizeof data);
+    region_with_barrier(tmk, &data, sizeof data);
+    tmk.join();
+  });
+}
+
+TEST(ForkJoin, VirtualTimeAdvancesMonotonically) {
+  DsmRuntime rt(cfg(2));
+  rt.run_master([](Tmk& tmk) {
+    auto out = tmk.alloc_array<std::uint64_t>(2);
+    RegionArg arg{out, 1};
+    tmk.fork(&region_fill, &arg, sizeof arg);
+    region_fill(tmk, &arg, sizeof arg);
+    tmk.join();
+  });
+  EXPECT_GT(rt.virtual_time_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace now::tmk

@@ -1,0 +1,84 @@
+#include "tmk/gptr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace now::tmk {
+namespace {
+
+// Bind the "region" to a local buffer so gptr arithmetic is testable without
+// a runtime.
+class GptrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    buf_.resize(4096);
+    detail::t_region_base = buf_.data();
+  }
+  void TearDown() override { detail::t_region_base = nullptr; }
+  std::vector<std::uint8_t> buf_;
+};
+
+TEST_F(GptrTest, ResolvesAgainstThreadRegion) {
+  gptr<std::uint32_t> p(16);
+  *p = 0xdeadbeef;
+  EXPECT_EQ(*reinterpret_cast<std::uint32_t*>(buf_.data() + 16), 0xdeadbeefu);
+}
+
+TEST_F(GptrTest, IndexingScalesByElementSize) {
+  gptr<std::uint64_t> p(0);
+  p[3] = 42;
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(buf_.data() + 24), 42u);
+}
+
+TEST_F(GptrTest, ArithmeticMatchesPointerArithmetic) {
+  gptr<double> p(64);
+  gptr<double> q = p + 5;
+  EXPECT_EQ(q.offset(), 64u + 5 * sizeof(double));
+  q += -2;
+  EXPECT_EQ(q.offset(), 64u + 3 * sizeof(double));
+}
+
+TEST_F(GptrTest, NullIsDistinguishable) {
+  auto n = gptr<int>::null();
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(static_cast<bool>(n));
+  gptr<int> p(0);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_NE(n, p);
+}
+
+TEST_F(GptrTest, CastPreservesOffset) {
+  gptr<std::uint8_t> p(128);
+  auto q = p.cast<std::uint64_t>();
+  EXPECT_EQ(q.offset(), 128u);
+}
+
+TEST_F(GptrTest, StorableInsideSharedMemory) {
+  // gptrs are plain offsets, so a gptr written through one region resolves
+  // correctly when read through another (different base, same offset).
+  gptr<gptr<std::uint32_t>> slot(8);
+  *slot = gptr<std::uint32_t>(256);
+  std::vector<std::uint8_t> other(4096);
+  // Copy the "shared page" to the other node's region, as diffs would.
+  other = buf_;
+  detail::t_region_base = other.data();
+  gptr<std::uint32_t> read = *slot;
+  EXPECT_EQ(read.offset(), 256u);
+  *read = 7;
+  EXPECT_EQ(*reinterpret_cast<std::uint32_t*>(other.data() + 256), 7u);
+}
+
+TEST_F(GptrTest, MemberAccessThroughArrow) {
+  struct Pair {
+    std::uint32_t a, b;
+  };
+  gptr<Pair> p(32);
+  p->a = 1;
+  p->b = 2;
+  EXPECT_EQ(p->a + p->b, 3u);
+}
+
+}  // namespace
+}  // namespace now::tmk

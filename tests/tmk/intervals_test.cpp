@@ -1,0 +1,119 @@
+#include "tmk/intervals.h"
+
+#include <gtest/gtest.h>
+
+namespace now::tmk {
+namespace {
+
+IntervalRecord rec(std::uint32_t node, std::uint32_t seq, std::uint64_t lamport,
+                   std::vector<PageIndex> pages = {}) {
+  IntervalRecord r;
+  r.node = node;
+  r.seq = seq;
+  r.lamport = lamport;
+  r.pages = std::move(pages);
+  return r;
+}
+
+TEST(Intervals, RecordSerializationRoundTrips) {
+  ByteWriter w;
+  rec(3, 7, 99, {1, 2, 300}).serialize(w);
+  auto buf = w.take();
+  ByteReader r(buf);
+  auto out = IntervalRecord::deserialize(r);
+  EXPECT_EQ(out.node, 3u);
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_EQ(out.lamport, 99u);
+  EXPECT_EQ(out.pages, (std::vector<PageIndex>{1, 2, 300}));
+}
+
+TEST(Intervals, VtStartsAtZero) {
+  KnowledgeLog log(4);
+  EXPECT_EQ(log.vt(), VectorTime(4, 0));
+}
+
+TEST(Intervals, AppendOwnAdvancesVt) {
+  KnowledgeLog log(2);
+  log.append_own(rec(0, 1, 5));
+  log.append_own(rec(0, 2, 6));
+  EXPECT_EQ(log.seq_of(0), 2u);
+  EXPECT_EQ(log.seq_of(1), 0u);
+  EXPECT_EQ(log.max_lamport(), 6u);
+}
+
+TEST(IntervalsDeathTest, AppendOwnMustBeDense) {
+  KnowledgeLog log(2);
+  log.append_own(rec(0, 1, 1));
+  EXPECT_DEATH(log.append_own(rec(0, 3, 2)), "dense");
+}
+
+TEST(Intervals, MergeReturnsOnlyFreshRecords) {
+  KnowledgeLog log(3);
+  auto fresh = log.merge({rec(1, 1, 10), rec(1, 2, 11)});
+  EXPECT_EQ(fresh.size(), 2u);
+  // Re-merging the same records (arriving via another path) yields nothing.
+  fresh = log.merge({rec(1, 1, 10), rec(1, 2, 11)});
+  EXPECT_TRUE(fresh.empty());
+  // A partial overlap yields only the new suffix.
+  fresh = log.merge({rec(1, 2, 11), rec(1, 3, 12)});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].seq, 3u);
+}
+
+TEST(IntervalsDeathTest, MergeRejectsGaps) {
+  KnowledgeLog log(2);
+  EXPECT_DEATH(log.merge({rec(1, 2, 10)}), "gap");
+}
+
+TEST(Intervals, DeltaSinceIsSuffixPerOrigin) {
+  KnowledgeLog log(2);
+  log.append_own(rec(0, 1, 1));
+  log.append_own(rec(0, 2, 2));
+  log.merge({rec(1, 1, 3)});
+  auto delta = log.delta_since({1, 0});
+  ASSERT_EQ(delta.size(), 2u);  // own seq 2 + node1 seq 1
+  EXPECT_EQ(delta[0].node, 0u);
+  EXPECT_EQ(delta[0].seq, 2u);
+  EXPECT_EQ(delta[1].node, 1u);
+  EXPECT_EQ(delta[1].seq, 1u);
+}
+
+TEST(Intervals, DeltaSinceFullVtIsEmpty) {
+  KnowledgeLog log(2);
+  log.append_own(rec(0, 1, 1));
+  EXPECT_TRUE(log.delta_since(log.vt()).empty());
+}
+
+TEST(Intervals, RecordsSerializationRoundTrips) {
+  ByteWriter w;
+  KnowledgeLog::serialize_records(w, {rec(0, 1, 1, {4}), rec(1, 1, 2, {9, 10})});
+  auto buf = w.take();
+  ByteReader r(buf);
+  auto out = KnowledgeLog::deserialize_records(r);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].pages, (std::vector<PageIndex>{9, 10}));
+}
+
+TEST(Intervals, VtSerializationRoundTrips) {
+  ByteWriter w;
+  KnowledgeLog::serialize_vt(w, {3, 0, 7});
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(KnowledgeLog::deserialize_vt(r), (VectorTime{3, 0, 7}));
+}
+
+TEST(Intervals, TransitiveKnowledgeFlow) {
+  // A learns B's records, then forwards them to C in its delta: the lazy RC
+  // requirement that consistency information flows along sync chains.
+  KnowledgeLog a(3), c(3);
+  a.append_own(rec(0, 1, 1, {5}));
+  a.merge({rec(1, 1, 2, {6})});
+  auto delta = a.delta_since(c.vt());
+  auto fresh = c.merge(delta);
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(c.seq_of(0), 1u);
+  EXPECT_EQ(c.seq_of(1), 1u);
+}
+
+}  // namespace
+}  // namespace now::tmk
