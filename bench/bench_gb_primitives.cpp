@@ -28,7 +28,7 @@ std::vector<std::uint8_t> random_page(std::uint64_t seed) {
 void BM_DiffCreate(benchmark::State& state) {
   auto twin = random_page(1);
   auto cur = twin;
-  // Dirty `range` bytes in the middle of the page.
+  // Dirty `range` bytes in the middle of the page (0 = clean page).
   const auto range = static_cast<std::size_t>(state.range(0));
   for (std::size_t i = 0; i < range; ++i) cur[1024 + i] ^= 0x5a;
   for (auto _ : state) {
@@ -37,7 +37,38 @@ void BM_DiffCreate(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
 }
-BENCHMARK(BM_DiffCreate)->Arg(16)->Arg(256)->Arg(2048);
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(16)->Arg(256)->Arg(2048);
+
+// The retired byte-at-a-time scanner, kept as the baseline the word-at-a-time
+// path is judged against.
+void BM_DiffCreateScalar(benchmark::State& state) {
+  auto twin = random_page(1);
+  auto cur = twin;
+  const auto range = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < range; ++i) cur[1024 + i] ^= 0x5a;
+  for (auto _ : state) {
+    auto d = now::tmk::diff_create_scalar(twin.data(), cur.data(), kPageSize);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_DiffCreateScalar)->Arg(0)->Arg(16)->Arg(256)->Arg(2048);
+
+// The allocation-free append variant reusing one buffer across pages.
+void BM_DiffAppendReuse(benchmark::State& state) {
+  auto twin = random_page(1);
+  auto cur = twin;
+  const auto range = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < range; ++i) cur[1024 + i] ^= 0x5a;
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    now::tmk::diff_append(out, twin.data(), cur.data(), kPageSize);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPageSize);
+}
+BENCHMARK(BM_DiffAppendReuse)->Arg(16)->Arg(2048);
 
 void BM_DiffApply(benchmark::State& state) {
   auto twin = random_page(2);
@@ -71,7 +102,7 @@ void BM_IntervalMergeAndDelta(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     KnowledgeLog a(nodes), b(nodes);
-    std::vector<IntervalRecord> recs;
+    std::vector<now::tmk::IntervalRecordPtr> recs;
     for (std::uint32_t n = 1; n < nodes; ++n)
       for (std::uint32_t s = 1; s <= 16; ++s) {
         IntervalRecord r;
@@ -79,7 +110,7 @@ void BM_IntervalMergeAndDelta(benchmark::State& state) {
         r.seq = s;
         r.lamport = s;
         r.pages = {s, s + 1};
-        recs.push_back(r);
+        recs.push_back(std::make_shared<const IntervalRecord>(std::move(r)));
       }
     state.ResumeTiming();
     a.merge(recs);

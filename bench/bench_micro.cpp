@@ -4,10 +4,16 @@
 //    The time for an eight processor barrier ... The time to obtain a diff
 //    varies from ... to ...  MPICH uses the TCP protocol.  The empty message
 //    round trip time is ...  The maximal bandwidth is ... MB/s."
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "omp/omp.h"
+#include "tmk/diff.h"
 
 namespace {
 // Micro benches isolate the protocol cost model: application compute is not
@@ -22,11 +28,103 @@ now::mpi::MpiConfig micro_mpi(std::uint32_t ranks) {
   c.time.cpu_scale = 0.0;
   return c;
 }
+
+// ---------------------------------------------------------------------------
+// Host-side diff-engine throughput: the twin/page scan is the hottest real
+// loop under the simulator, so its trajectory is tracked here (and emitted as
+// JSON with --json for machines to diff across PRs).
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  const char* name;
+  std::vector<std::uint8_t> twin, cur;
+};
+
+std::vector<DiffCase> diff_cases() {
+  using now::tmk::kPageSize;
+  now::Rng rng(42);
+  std::vector<std::uint8_t> base(kPageSize);
+  for (auto& b : base) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  DiffCase sparse{"sparse-dirty", base, base};  // 16 scattered 4-byte stores
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t k = 0; k < 4; ++k) sparse.cur[i * 256 + 32 + k] ^= 0x5a;
+
+  DiffCase dense{"dense-dirty", base, base};  // half the page rewritten
+  for (std::size_t i = 1024; i < 1024 + 2048; ++i) dense.cur[i] ^= 0xa5;
+
+  DiffCase clean{"clean-page", base, base};
+
+  return {sparse, dense, clean};
+}
+
+using DiffFn = now::tmk::DiffBytes (*)(const std::uint8_t*, const std::uint8_t*,
+                                       std::size_t, std::size_t);
+
+// Scan throughput in MB of page scanned per second.  Best-of-N repetitions:
+// the minimum time is the one least polluted by scheduler noise, which
+// matters on shared/loaded hosts where a single long timing window can be
+// preempted mid-measurement.
+double diff_throughput_mbps(DiffFn fn, const DiffCase& c) {
+  using now::tmk::kPageSize;
+  constexpr int kWarmup = 500, kReps = 5, kItersPerRep = 2500;
+  std::size_t sink = 0;
+  for (int i = 0; i < kWarmup; ++i)
+    sink += fn(c.twin.data(), c.cur.data(), kPageSize, 8).size();
+  double best_secs = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kItersPerRep; ++i)
+      sink += fn(c.twin.data(), c.cur.data(), kPageSize, 8).size();
+    const auto t1 = std::chrono::steady_clock::now();
+    best_secs = std::min(best_secs, std::chrono::duration<double>(t1 - t0).count());
+  }
+  // Keep the result observable so the loop cannot be optimized away.
+  if (sink == static_cast<std::size_t>(-1)) std::abort();
+  return static_cast<double>(kItersPerRep) * kPageSize / (1024.0 * 1024.0) / best_secs;
+}
+
+struct DiffThroughput {
+  std::string name;
+  double scalar_mbps, fast_mbps;
+  double speedup() const { return fast_mbps / scalar_mbps; }
+};
+
+std::vector<DiffThroughput> measure_diff_throughput() {
+  std::vector<DiffThroughput> out;
+  for (const DiffCase& c : diff_cases()) {
+    DiffThroughput r;
+    r.name = c.name;
+    r.scalar_mbps = diff_throughput_mbps(&now::tmk::diff_create_scalar, c);
+    r.fast_mbps = diff_throughput_mbps(&now::tmk::diff_create, c);
+    out.push_back(r);
+  }
+  return out;
+}
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace now;
   using namespace now::bench;
+
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--json")) json = true;
+
+  if (json) {
+    // Machine-readable trajectory record: host-side diff engine throughput.
+    const auto rows = measure_diff_throughput();
+    std::cout << "{\n  \"diff_create_mbps\": {\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::cout << "    \"" << rows[i].name << "\": {\"scalar\": "
+                << Table::fmt(rows[i].scalar_mbps, 1)
+                << ", \"fast\": " << Table::fmt(rows[i].fast_mbps, 1)
+                << ", \"speedup\": " << Table::fmt(rows[i].speedup(), 2) << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  },\n  \"page_size\": " << tmk::kPageSize << "\n}\n";
+    return 0;
+  }
 
   std::cout << "== Section 6: basic operation costs (8 simulated workstations) ==\n";
   Table t({"Operation", "Cost", "Unit"});
@@ -122,5 +220,14 @@ int main() {
   t.print(std::cout);
   std::cout << "\n(paper platform: 8x Pentium Pro, switched 100 Mbps Ethernet;"
                "\n UDP small-message RTT ~130 us, TCP RTT ~185 us, ~10.5 MB/s)\n";
+
+  std::cout << "\n== diff engine host throughput (4 KB page scan) ==\n";
+  Table dt({"Case", "Scalar MB/s", "Word-at-a-time MB/s", "Speedup"});
+  for (const auto& r : measure_diff_throughput())
+    dt.add_row({r.name, Table::fmt(r.scalar_mbps, 0), Table::fmt(r.fast_mbps, 0),
+                Table::fmt(r.speedup(), 2) + "x"});
+  dt.print(std::cout);
+  std::cout << "(--json emits these numbers machine-readably for trajectory"
+               " tracking)\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -29,6 +30,9 @@ class ByteWriter {
   void str(const std::string& s) { bytes(s.data(), s.size()); }
   // Raw append without a length prefix (caller knows the size).
   void raw(const void* data, std::size_t n) { append(data, n); }
+  // Pre-size for `n` more bytes (computed message sizes avoid the grow-
+  // reallocation chain on hot serialization paths).
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
 
   std::size_t size() const { return buf_.size(); }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
@@ -55,11 +59,17 @@ class ByteReader {
   double f64() { return take<double>(); }
 
   std::vector<std::uint8_t> bytes() {
+    const auto [p, n] = bytes_view();
+    return std::vector<std::uint8_t>(p, p + n);
+  }
+  // Zero-copy variant: a view into the underlying buffer, valid only as long
+  // as the buffer the reader was constructed over stays alive.
+  std::pair<const std::uint8_t*, std::size_t> bytes_view() {
     std::uint32_t n = u32();
     NOW_CHECK_LE(pos_ + n, size_) << "truncated message";
-    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    const std::uint8_t* p = data_ + pos_;
     pos_ += n;
-    return out;
+    return {p, n};
   }
   std::string str() {
     auto b = bytes();

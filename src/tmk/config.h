@@ -30,6 +30,14 @@ struct DsmConfig {
   double twin_copy_us = 10.0;            // 4 KB page copy on 1998 hardware
   double barrier_manager_us = 30.0;      // manager bookkeeping at departure
 
+  // Per-page byte budget for the requester-side diff cache (already-fetched
+  // diff chunks kept so a refault never re-requests them); 0 disables it.
+  // Off by default: the current protocol never requests the same
+  // (writer, seq) twice (tmk_diff_cache_test proves a 0% hit rate), so
+  // retaining copies would be pure fault-path overhead today.  Turn it on
+  // when a refetching consumer lands (log GC, prefetch, restart recovery).
+  std::size_t diff_cache_bytes_per_page = 0;
+
   // When true, each service-thread request handled also injects a random
   // short host-level delay, shaking out message-ordering assumptions in
   // stress tests.  Never enabled in benchmarks.

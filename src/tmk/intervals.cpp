@@ -28,64 +28,84 @@ IntervalRecord IntervalRecord::deserialize(ByteReader& r) {
 VectorTime KnowledgeLog::vt() const {
   VectorTime out(per_node_.size());
   for (std::size_t i = 0; i < per_node_.size(); ++i)
-    out[i] = per_node_[i].empty() ? 0 : per_node_[i].back().seq;
+    out[i] = per_node_[i].empty() ? 0 : per_node_[i].back()->seq;
   return out;
 }
 
-void KnowledgeLog::append_own(const IntervalRecord& rec) {
+void KnowledgeLog::append_own(IntervalRecord rec) {
   NOW_CHECK_LT(rec.node, per_node_.size());
   auto& log = per_node_[rec.node];
-  NOW_CHECK_EQ(rec.seq, (log.empty() ? 0u : log.back().seq) + 1)
+  NOW_CHECK_EQ(rec.seq, (log.empty() ? 0u : log.back()->seq) + 1)
       << "own interval sequence must be dense";
   max_lamport_ = std::max(max_lamport_, rec.lamport);
-  log.push_back(rec);
+  log.push_back(std::make_shared<const IntervalRecord>(std::move(rec)));
 }
 
-std::vector<IntervalRecord> KnowledgeLog::merge(
-    const std::vector<IntervalRecord>& recs) {
-  std::vector<IntervalRecord> fresh;
-  for (const IntervalRecord& rec : recs) {
-    NOW_CHECK_LT(rec.node, per_node_.size());
-    auto& log = per_node_[rec.node];
-    const std::uint32_t have = log.empty() ? 0 : log.back().seq;
-    if (rec.seq <= have) continue;  // duplicate via another path
-    NOW_CHECK_EQ(rec.seq, have + 1)
-        << "gap in interval records for node " << rec.node
-        << ": have " << have << ", got " << rec.seq;
-    max_lamport_ = std::max(max_lamport_, rec.lamport);
-    log.push_back(rec);
+std::vector<IntervalRecordPtr> KnowledgeLog::merge(
+    const std::vector<IntervalRecordPtr>& recs) {
+  std::vector<IntervalRecordPtr> fresh;
+  for (const IntervalRecordPtr& rec : recs) {
+    NOW_CHECK_LT(rec->node, per_node_.size());
+    auto& log = per_node_[rec->node];
+    const std::uint32_t have = log.empty() ? 0 : log.back()->seq;
+    if (rec->seq <= have) continue;  // duplicate via another path
+    NOW_CHECK_EQ(rec->seq, have + 1)
+        << "gap in interval records for node " << rec->node
+        << ": have " << have << ", got " << rec->seq;
+    max_lamport_ = std::max(max_lamport_, rec->lamport);
+    log.push_back(rec);    // shares the record; no page-vector copy
     fresh.push_back(rec);
   }
   return fresh;
 }
 
-std::vector<IntervalRecord> KnowledgeLog::delta_since(const VectorTime& since) const {
+std::vector<IntervalRecordPtr> KnowledgeLog::delta_since(const VectorTime& since) const {
   NOW_CHECK_EQ(since.size(), per_node_.size());
-  std::vector<IntervalRecord> out;
+  std::vector<IntervalRecordPtr> out;
   for (std::size_t n = 0; n < per_node_.size(); ++n) {
     const auto& log = per_node_[n];
-    // Records are stored seq-ascending starting at 1, so the suffix after
-    // `since[n]` begins at index since[n].
-    for (std::size_t i = since[n]; i < log.size(); ++i) out.push_back(log[i]);
+    // Explicit suffix lookup by sequence number: records are stored
+    // seq-ascending, but the suffix is found by comparing seqs rather than by
+    // assuming the log is dense from seq 1 — a prefix truncated by a future
+    // GC pass must not silently shift the delta.
+    auto it = std::upper_bound(
+        log.begin(), log.end(), since[n],
+        [](std::uint32_t seq, const IntervalRecordPtr& r) { return seq < r->seq; });
+    if (it != log.end()) {
+      NOW_CHECK_EQ((*it)->seq, since[n] + 1)
+          << "knowledge log for node " << n
+          << " no longer holds the suffix after seq " << since[n];
+    }
+    out.insert(out.end(), it, log.end());
   }
   return out;
 }
 
-void KnowledgeLog::serialize_records(ByteWriter& w,
-                                     const std::vector<IntervalRecord>& recs) {
-  w.u32(static_cast<std::uint32_t>(recs.size()));
-  for (const auto& r : recs) r.serialize(w);
+std::size_t KnowledgeLog::records_serialized_size(
+    const std::vector<IntervalRecordPtr>& recs) {
+  std::size_t total = 4;  // count prefix
+  for (const auto& r : recs) total += r->serialized_size();
+  return total;
 }
 
-std::vector<IntervalRecord> KnowledgeLog::deserialize_records(ByteReader& r) {
+void KnowledgeLog::serialize_records(ByteWriter& w,
+                                     const std::vector<IntervalRecordPtr>& recs) {
+  w.reserve(records_serialized_size(recs));
+  w.u32(static_cast<std::uint32_t>(recs.size()));
+  for (const auto& r : recs) r->serialize(w);
+}
+
+std::vector<IntervalRecordPtr> KnowledgeLog::deserialize_records(ByteReader& r) {
   const std::uint32_t n = r.u32();
-  std::vector<IntervalRecord> out;
+  std::vector<IntervalRecordPtr> out;
   out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(IntervalRecord::deserialize(r));
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(std::make_shared<const IntervalRecord>(IntervalRecord::deserialize(r)));
   return out;
 }
 
 void KnowledgeLog::serialize_vt(ByteWriter& w, const VectorTime& vt) {
+  w.reserve(4 + 4 * vt.size());
   w.u32(static_cast<std::uint32_t>(vt.size()));
   for (std::uint32_t v : vt) w.u32(v);
 }

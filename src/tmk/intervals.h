@@ -7,9 +7,16 @@
 // "happened before" the release it synchronizes with; nodes therefore carry
 // a log of all interval records they know about, exchange deltas on
 // synchronization, and invalidate the pages named by newly learned records.
+//
+// Records are immutable once logged and referenced through
+// shared_ptr<const IntervalRecord>: merge, delta extraction and the barrier
+// manager's departure fan-out all hand around refcounted pointers instead of
+// deep-copying page vectors (a record naming P pages used to be copied O(N)
+// times per barrier on an N-node run).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.h"
@@ -27,9 +34,16 @@ struct IntervalRecord {
   std::uint64_t lamport = 0;  // linear extension of happens-before
   std::vector<PageIndex> pages;  // write notices
 
+  // Exact wire size of serialize()'s output, for pre-sizing buffers.
+  std::size_t serialized_size() const { return 4 + 4 + 8 + 4 + 4 * pages.size(); }
+
   void serialize(ByteWriter& w) const;
   static IntervalRecord deserialize(ByteReader& r);
 };
+
+// Immutable handle to a logged record.  The pages vector behind it is shared
+// by every log, delta and message assembly that mentions the record.
+using IntervalRecordPtr = std::shared_ptr<const IntervalRecord>;
 
 // Append-only log of every interval record a node knows, ordered by (origin,
 // seq).  Deltas are contiguous suffixes per origin, so both delta extraction
@@ -43,36 +57,38 @@ class KnowledgeLog {
   // Highest sequence known per origin.
   VectorTime vt() const;
   std::uint32_t seq_of(std::uint32_t node) const {
-    return per_node_[node].empty() ? 0 : per_node_[node].back().seq;
+    return per_node_[node].empty() ? 0 : per_node_[node].back()->seq;
   }
 
   // Appends a locally created record; seq must be the next in sequence.
-  void append_own(const IntervalRecord& rec);
+  void append_own(IntervalRecord rec);
 
   // Merges foreign records, ignoring duplicates.  Records must extend the
   // per-origin prefix contiguously (guaranteed by the suffix-delta exchange
-  // discipline; checked).  Returns copies of the newly added records so the
-  // caller can invalidate their pages (copies, not pointers: the log's
-  // storage reallocates as it grows).
-  std::vector<IntervalRecord> merge(const std::vector<IntervalRecord>& recs);
+  // discipline; checked).  Returns the newly added records so the caller can
+  // invalidate their pages; the pointers share storage with the log and stay
+  // valid forever (records are immutable once logged).
+  std::vector<IntervalRecordPtr> merge(const std::vector<IntervalRecordPtr>& recs);
 
   // All records with seq greater than `since[origin]`.
-  std::vector<IntervalRecord> delta_since(const VectorTime& since) const;
+  std::vector<IntervalRecordPtr> delta_since(const VectorTime& since) const;
 
   // Highest lamport value across all known records (0 if none).
   std::uint64_t max_lamport() const { return max_lamport_; }
 
-  const std::vector<IntervalRecord>& records_of(std::uint32_t node) const {
+  const std::vector<IntervalRecordPtr>& records_of(std::uint32_t node) const {
     return per_node_[node];
   }
 
-  static void serialize_records(ByteWriter& w, const std::vector<IntervalRecord>& recs);
-  static std::vector<IntervalRecord> deserialize_records(ByteReader& r);
+  // Exact wire size of serialize_records(recs), for pre-sizing ByteWriters.
+  static std::size_t records_serialized_size(const std::vector<IntervalRecordPtr>& recs);
+  static void serialize_records(ByteWriter& w, const std::vector<IntervalRecordPtr>& recs);
+  static std::vector<IntervalRecordPtr> deserialize_records(ByteReader& r);
   static void serialize_vt(ByteWriter& w, const VectorTime& vt);
   static VectorTime deserialize_vt(ByteReader& r);
 
  private:
-  std::vector<std::vector<IntervalRecord>> per_node_;
+  std::vector<std::vector<IntervalRecordPtr>> per_node_;
   std::uint64_t max_lamport_ = 0;
 };
 

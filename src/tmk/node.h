@@ -87,7 +87,7 @@ class Node {
   void close_interval();
   // Learns foreign interval records: appends unapplied notices and
   // invalidates local copies (acquire side of lazy invalidate RC).
-  void merge_and_invalidate(const std::vector<IntervalRecord>& recs);
+  void merge_and_invalidate(const std::vector<IntervalRecordPtr>& recs);
   // Fetches and applies all unapplied diffs for a page (fault path).
   void fetch_and_apply(PageIndex page, PageEntry& entry);
   // Computes diff(twin, current) into the diff store and drops the twin.
@@ -100,8 +100,8 @@ class Node {
   // Delta of interval records the peer's node/manager log is missing,
   // advancing the corresponding sent-cache.  `extra` (if given) is the
   // receiver's declared vector time; records below it are skipped.
-  std::vector<IntervalRecord> take_delta_for(std::uint32_t peer, Cache which,
-                                             const VectorTime* extra);
+  std::vector<IntervalRecordPtr> take_delta_for(std::uint32_t peer, Cache which,
+                                                const VectorTime* extra);
   void send_compute(sim::Message&& m);  // stamps the compute clock
   void send_service(sim::Message&& m, std::uint64_t base_ts);  // service reply
   sim::Message rpc_call(std::uint32_t dst, std::uint16_t type,

@@ -68,12 +68,15 @@ void Node::close_interval() {
   IntervalRecord rec;
   rec.node = id_;
   rec.pages = dirty_pages_;
+  std::uint32_t rec_seq;
+  const std::size_t rec_npages = rec.pages.size();
+  const PageIndex rec_first = rec.pages.empty() ? 0 : rec.pages[0];
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     own_lamport_ = std::max(own_lamport_, log_.max_lamport()) + 1;
-    rec.seq = ++own_seq_;
+    rec.seq = rec_seq = ++own_seq_;
     rec.lamport = own_lamport_;
-    log_.append_own(rec);
+    log_.append_own(std::move(rec));
   }
 
   // Write-protect the interval's dirty pages so later writes fault and
@@ -93,16 +96,17 @@ void Node::close_interval() {
   // compute; close_interval only ever runs on the compute thread.
   cpu_meter_.rebase();
   NOW_LOG(kDebug, "node %u closed interval %u (%zu pages, first=%u)", id_,
-          rec.seq, rec.pages.size(), rec.pages.empty() ? 0 : rec.pages[0]);
+          rec_seq, rec_npages, rec_first);
 }
 
-void Node::merge_and_invalidate(const std::vector<IntervalRecord>& recs) {
-  std::vector<IntervalRecord> fresh;
+void Node::merge_and_invalidate(const std::vector<IntervalRecordPtr>& recs) {
+  std::vector<IntervalRecordPtr> fresh;
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     fresh = log_.merge(recs);
   }
-  for (const IntervalRecord& rec : fresh) {
+  for (const IntervalRecordPtr& recp : fresh) {
+    const IntervalRecord& rec = *recp;
     NOW_CHECK_NE(rec.node, id_) << "merged a record we authored";
     for (PageIndex page : rec.pages) {
       PageEntry& e = pages_[page];
@@ -129,7 +133,13 @@ void Node::materialize_twin(PageIndex page, PageEntry& e) {
   if (!e.twin_valid) return;
   NOW_CHECK(e.state != PageState::kInvalid) << "twin on an invalid page";
   const std::uint8_t* current = rt_.arena().page_ptr(id_, page);
-  DiffBytes diff = diff_create(e.twin.data.get(), current, kPageSize);
+  // Scan into a per-thread scratch buffer (both the compute and the service
+  // thread materialize twins), then store an exactly-sized copy: the scratch
+  // absorbs the grow-reallocations, the store never over-holds.
+  thread_local DiffBytes scratch;
+  scratch.clear();
+  diff_append(scratch, e.twin.data.get(), current, kPageSize);
+  DiffBytes diff(scratch.begin(), scratch.end());
   const auto& cfg = rt_.config();
   clock_.advance_us(cfg.diff_create_base_us +
                     cfg.diff_create_per_kb_us *
@@ -148,13 +158,13 @@ void Node::materialize_twin(PageIndex page, PageEntry& e) {
 // Messaging helpers
 // ---------------------------------------------------------------------------
 
-std::vector<IntervalRecord> Node::take_delta_for(std::uint32_t peer, Cache which,
-                                                 const VectorTime* extra) {
+std::vector<IntervalRecordPtr> Node::take_delta_for(std::uint32_t peer, Cache which,
+                                                    const VectorTime* extra) {
   std::lock_guard<std::mutex> lock(meta_mu_);
   VectorTime& cache =
       (which == Cache::kNodeLog ? sent_node_vt_ : sent_mgr_vt_)[peer];
   VectorTime base = extra ? vt_max(cache, *extra) : cache;
-  std::vector<IntervalRecord> delta = log_.delta_since(base);
+  std::vector<IntervalRecordPtr> delta = log_.delta_since(base);
   if (log_enabled(LogLevel::kDebug)) {
     NOW_LOG(kDebug,
             "node %u: take_delta(peer=%u, %s): cache=[%u,%u] extra=[%u,%u] log=[%u,%u] -> %zu recs",

@@ -89,8 +89,11 @@ void Node::handle_fault(void* addr) {
 }
 
 void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
+  const std::size_t cache_budget = rt_.config().diff_cache_bytes_per_page;
   for (;;) {
     std::vector<UnappliedNotice> want;
+    std::vector<UnappliedNotice> need;  // not already held in the diff cache
+    std::uint64_t cache_hits = 0, cache_bytes = 0;
     {
       std::lock_guard<std::mutex> lock(e.mu);
       if (e.unapplied.empty()) {
@@ -102,12 +105,37 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
         return;
       }
       want = e.unapplied;
+      // Chunks fetched by an earlier fault need no round trip at all; only
+      // the compute thread mutates the cache, so the partition stays valid
+      // after the lock drops.  Skipped entirely when the cache is disabled
+      // (the default) so the hot path pays nothing for it.
+      if (cache_budget > 0) {
+        for (const auto& n : want) {
+          if (const auto* chunks = e.diff_cache.find(n.writer, n.seq)) {
+            ++cache_hits;
+            // Reply bytes this hit avoids: the per-interval seq + chunk-count
+            // header plus each chunk's length prefix and payload.  (A fully
+            // suppressed request message saves more still; not counted.)
+            cache_bytes += 8;
+            for (const DiffBytes& c : *chunks) cache_bytes += 4 + c.size();
+          } else {
+            need.push_back(n);
+          }
+        }
+      }
+    }
+    // With the cache off, everything in `want` must be fetched.
+    const std::vector<UnappliedNotice>& to_fetch = cache_budget > 0 ? need : want;
+    if (cache_hits > 0) {
+      stats_.diff_cache_hits.fetch_add(cache_hits, std::memory_order_relaxed);
+      stats_.diff_cache_bytes_saved.fetch_add(cache_bytes,
+                                              std::memory_order_relaxed);
     }
 
     // One diff request per writer, issued in parallel (TreadMarks pipelines
     // these to hide latency).
     std::map<std::uint32_t, std::vector<std::uint32_t>> by_writer;
-    for (const auto& n : want) {
+    for (const auto& n : to_fetch) {
       NOW_CHECK_NE(n.writer, id_) << "unapplied notice for our own interval";
       by_writer[n.writer].push_back(n.seq);
     }
@@ -133,10 +161,16 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     }
     stats_.diff_fetches.fetch_add(calls.size(), std::memory_order_relaxed);
 
-    // (writer, seq) -> diff chunks, gathered from the replies.
-    std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<DiffBytes>> got;
+    // (writer, seq) -> diff chunk views into the reply payloads, which stay
+    // alive in `replies` until the end of the iteration (zero-copy apply:
+    // the only copy left is the memcpy of the patched ranges themselves).
+    using ChunkView = std::pair<const std::uint8_t*, std::size_t>;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<ChunkView>> got;
+    std::vector<sim::Message> replies;
+    replies.reserve(calls.size());
     for (const Call& c : calls) {
-      sim::Message reply = rpc_.wait(c.tok);
+      replies.push_back(rpc_.wait(c.tok));
+      const sim::Message& reply = replies.back();
       arrive(reply);
       ByteReader r(reply.payload);
       const PageIndex rpage = r.u32();
@@ -146,7 +180,7 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
         const std::uint32_t seq = r.u32();
         const std::uint32_t nchunks = r.u32();
         auto& chunks = got[{c.writer, seq}];
-        for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes());
+        for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes_view());
       }
     }
 
@@ -166,10 +200,18 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     std::uint64_t applied = 0;
     for (const auto& n : want) {
       auto it = got.find({n.writer, n.seq});
-      NOW_CHECK(it != got.end())
+      if (it != got.end()) {
+        for (const ChunkView& d : it->second) {
+          patched += diff_apply(mem, kPageSize, d.first, d.second);
+          ++applied;
+        }
+        continue;
+      }
+      const auto* cached = e.diff_cache.find(n.writer, n.seq);
+      NOW_CHECK(cached != nullptr)
           << "writer " << n.writer << " had no diff for page " << page
           << " interval " << n.seq;
-      for (const DiffBytes& d : it->second) {
+      for (const DiffBytes& d : *cached) {
         patched += diff_apply(mem, kPageSize, d);
         ++applied;
       }
@@ -177,6 +219,17 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));
+
+    // Retain what we just fetched: a later refault that wants any of these
+    // intervals again is then served locally, with no message at all.
+    if (cache_budget > 0) {
+      for (auto& [key, views] : got) {
+        std::vector<DiffBytes> owned;
+        owned.reserve(views.size());
+        for (const ChunkView& v : views) owned.emplace_back(v.first, v.first + v.second);
+        e.diff_cache.insert(key.first, key.second, std::move(owned), cache_budget);
+      }
+    }
 
     // Drop what we applied; the service thread may have appended more
     // notices (a flush) while we were fetching — loop if so.

@@ -100,25 +100,37 @@ void Node::on_diff_request(sim::Message&& m) {
   std::vector<std::uint32_t> seqs(n);
   for (auto& s : seqs) s = r.u32();
 
-  ByteWriter w;
-  w.u32(page);
-  w.u32(n);
+  // Materialize lazily if an interval's twin is still pending.  The page is
+  // at most PROT_READ for a closed interval, so its bytes are stable.  (Done
+  // before taking store_mu_: materialize_twin takes e.mu then store_mu_.)
   for (std::uint32_t seq : seqs) {
-    // Materialize lazily if the interval's twin is still pending.  The page
-    // is at most PROT_READ for a closed interval, so its bytes are stable.
-    {
-      PageEntry& e = pages_[page];
-      std::lock_guard<std::mutex> lock(e.mu);
-      if (e.twin_valid && e.twin.seq == seq) materialize_twin(page, e);
-    }
-    std::lock_guard<std::mutex> lock(store_mu_);
+    PageEntry& e = pages_[page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (e.twin_valid && e.twin.seq == seq) materialize_twin(page, e);
+  }
+
+  ByteWriter w;
+  std::lock_guard<std::mutex> lock(store_mu_);
+  std::vector<const std::vector<DiffBytes>*> per_seq;
+  per_seq.reserve(seqs.size());
+  std::size_t reply_size = 8;  // page + interval count
+  for (std::uint32_t seq : seqs) {
     auto it = diff_store_.find(diff_key(page, seq));
     NOW_CHECK(it != diff_store_.end())
         << "node " << id_ << " asked for missing diff: page " << page
         << " interval " << seq;
-    w.u32(seq);
-    w.u32(static_cast<std::uint32_t>(it->second.size()));
-    for (const DiffBytes& d : it->second) w.bytes(d.data(), d.size());
+    reply_size += 8;  // seq + chunk count
+    for (const DiffBytes& d : it->second) reply_size += 4 + d.size();
+    per_seq.push_back(&it->second);
+  }
+  // One exact reservation for the whole reply, then straight-line appends.
+  w.reserve(reply_size);
+  w.u32(page);
+  w.u32(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    w.u32(seqs[i]);
+    w.u32(static_cast<std::uint32_t>(per_seq[i]->size()));
+    for (const DiffBytes& d : *per_seq[i]) w.bytes(d.data(), d.size());
   }
 
   sim::Message reply;

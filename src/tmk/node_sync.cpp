@@ -150,8 +150,8 @@ void Node::grant_lock(std::uint32_t lock_id, std::uint32_t requester,
   auto delta = take_delta_for(requester, Cache::kNodeLog, &vt);
   if (log_enabled(LogLevel::kDebug)) {
     std::string recs;
-    for (auto& rec : delta)
-      recs += " (" + std::to_string(rec.node) + "," + std::to_string(rec.seq) + ")";
+    for (const auto& rec : delta)
+      recs += " (" + std::to_string(rec->node) + "," + std::to_string(rec->seq) + ")";
     NOW_LOG(kDebug, "node %u: grant lock %u to %u: delta%s [req vt0=%u vt1=%u]",
             id_, lock_id, requester, recs.empty() ? " <empty>" : recs.c_str(),
             vt.empty() ? 0 : vt[0], vt.size() > 1 ? vt[1] : 0);

@@ -2,11 +2,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "tmk/config.h"
+#include "tmk/diff.h"
 #include "tmk/intervals.h"
 
 namespace now::tmk {
@@ -34,6 +37,55 @@ struct UnappliedNotice {
   std::uint64_t lamport = 0;
 };
 
+// Requester-side cache of already-fetched diff chunks, keyed by (writer,
+// seq).  A node that still holds a diff it fetched earlier can skip the
+// re-request entirely (no message, no wire bytes) when a later fault wants
+// the same interval again — e.g. after a flush-then-refault, or when a future
+// log-GC pass forces a page to be reconstructed.  FIFO eviction under a
+// per-page byte budget keeps the cache from shadowing the whole heap.
+class PageDiffCache {
+ public:
+  // Chunks for (writer, seq), or nullptr if not cached.  The pointer stays
+  // valid until the next insert().
+  const std::vector<DiffBytes>* find(std::uint32_t writer, std::uint32_t seq) const {
+    auto it = map_.find(key(writer, seq));
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  // Stores the chunks for (writer, seq), evicting oldest entries to stay
+  // within `budget_bytes`.  A chunk set larger than the whole budget is not
+  // cached at all.  No-op if the key is already present.
+  void insert(std::uint32_t writer, std::uint32_t seq,
+              std::vector<DiffBytes> chunks, std::size_t budget_bytes) {
+    const std::uint64_t k = key(writer, seq);
+    if (map_.count(k)) return;
+    std::size_t sz = 0;
+    for (const DiffBytes& c : chunks) sz += c.size();
+    if (sz > budget_bytes) return;
+    while (bytes_ + sz > budget_bytes && !order_.empty()) {
+      auto victim = map_.find(order_.front());
+      order_.pop_front();
+      if (victim == map_.end()) continue;
+      for (const DiffBytes& c : victim->second) bytes_ -= c.size();
+      map_.erase(victim);
+    }
+    bytes_ += sz;
+    order_.push_back(k);
+    map_.emplace(k, std::move(chunks));
+  }
+
+  std::size_t bytes() const { return bytes_; }
+  std::size_t entries() const { return map_.size(); }
+
+ private:
+  static std::uint64_t key(std::uint32_t writer, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(writer) << 32) | seq;
+  }
+  std::unordered_map<std::uint64_t, std::vector<DiffBytes>> map_;
+  std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
+  std::size_t bytes_ = 0;
+};
+
 struct PageEntry {
   // Serializes page-state transitions between the node's compute thread
   // (faults, invalidations) and its service thread (diff materialization).
@@ -49,6 +101,9 @@ struct PageEntry {
 
   // Write notices to apply at the next fault, sorted on use by lamport.
   std::vector<UnappliedNotice> unapplied;
+
+  // Diff chunks this node has already fetched for the page (guarded by mu).
+  PageDiffCache diff_cache;
 };
 
 }  // namespace now::tmk

@@ -11,6 +11,11 @@ struct DsmStatsSnapshot {
   std::uint64_t write_faults = 0;
   std::uint64_t cold_zero_fills = 0;   // first-touch pages satisfied locally
   std::uint64_t diff_fetches = 0;      // remote fetch round trips
+  std::uint64_t diff_cache_hits = 0;   // wanted diffs already held locally
+  std::uint64_t diff_cache_bytes_saved = 0;  // diff-reply bytes those hits
+                                             // avoided (chunk payloads +
+                                             // framing; suppressed request
+                                             // messages not counted)
   std::uint64_t diffs_created = 0;
   std::uint64_t diffs_applied = 0;
   std::uint64_t diff_bytes_created = 0;
@@ -28,6 +33,8 @@ struct DsmStatsSnapshot {
     write_faults += o.write_faults;
     cold_zero_fills += o.cold_zero_fills;
     diff_fetches += o.diff_fetches;
+    diff_cache_hits += o.diff_cache_hits;
+    diff_cache_bytes_saved += o.diff_cache_bytes_saved;
     diffs_created += o.diffs_created;
     diffs_applied += o.diffs_applied;
     diff_bytes_created += o.diff_bytes_created;
@@ -49,6 +56,8 @@ struct DsmStats {
   std::atomic<std::uint64_t> write_faults{0};
   std::atomic<std::uint64_t> cold_zero_fills{0};
   std::atomic<std::uint64_t> diff_fetches{0};
+  std::atomic<std::uint64_t> diff_cache_hits{0};
+  std::atomic<std::uint64_t> diff_cache_bytes_saved{0};
   std::atomic<std::uint64_t> diffs_created{0};
   std::atomic<std::uint64_t> diffs_applied{0};
   std::atomic<std::uint64_t> diff_bytes_created{0};
@@ -67,6 +76,8 @@ struct DsmStats {
     s.write_faults = write_faults.load(std::memory_order_relaxed);
     s.cold_zero_fills = cold_zero_fills.load(std::memory_order_relaxed);
     s.diff_fetches = diff_fetches.load(std::memory_order_relaxed);
+    s.diff_cache_hits = diff_cache_hits.load(std::memory_order_relaxed);
+    s.diff_cache_bytes_saved = diff_cache_bytes_saved.load(std::memory_order_relaxed);
     s.diffs_created = diffs_created.load(std::memory_order_relaxed);
     s.diffs_applied = diffs_applied.load(std::memory_order_relaxed);
     s.diff_bytes_created = diff_bytes_created.load(std::memory_order_relaxed);

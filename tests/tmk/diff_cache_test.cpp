@@ -1,0 +1,138 @@
+// The requester-side diff cache: structure-level behavior (hit/miss, FIFO
+// eviction under the byte budget) and the protocol-level invariant that the
+// cache never changes what the simulation computes or transmits today — in
+// the current protocol every (writer, seq) notice is learned and fetched at
+// most once, so the hit counter must read zero and traffic must be identical
+// to a run with the cache disabled.
+#include <gtest/gtest.h>
+
+#include "tmk/tmk.h"
+
+namespace now::tmk {
+namespace {
+
+DiffBytes chunk(std::size_t n, std::uint8_t fill) { return DiffBytes(n, fill); }
+
+TEST(PageDiffCache, MissThenHit) {
+  PageDiffCache c;
+  EXPECT_EQ(c.find(1, 1), nullptr);
+  c.insert(1, 1, {chunk(10, 0xaa)}, 1024);
+  const auto* got = c.find(1, 1);
+  ASSERT_NE(got, nullptr);
+  ASSERT_EQ(got->size(), 1u);
+  EXPECT_EQ((*got)[0], chunk(10, 0xaa));
+  EXPECT_EQ(c.bytes(), 10u);
+  EXPECT_EQ(c.entries(), 1u);
+}
+
+TEST(PageDiffCache, DistinctWritersAndSeqsAreDistinctKeys) {
+  PageDiffCache c;
+  c.insert(1, 1, {chunk(4, 1)}, 1024);
+  c.insert(1, 2, {chunk(4, 2)}, 1024);
+  c.insert(2, 1, {chunk(4, 3)}, 1024);
+  EXPECT_EQ((*c.find(1, 1))[0][0], 1);
+  EXPECT_EQ((*c.find(1, 2))[0][0], 2);
+  EXPECT_EQ((*c.find(2, 1))[0][0], 3);
+}
+
+TEST(PageDiffCache, InsertIsIdempotent) {
+  PageDiffCache c;
+  c.insert(1, 1, {chunk(8, 1)}, 1024);
+  c.insert(1, 1, {chunk(8, 9)}, 1024);  // duplicate key: first copy wins
+  EXPECT_EQ((*c.find(1, 1))[0][0], 1);
+  EXPECT_EQ(c.bytes(), 8u);
+}
+
+TEST(PageDiffCache, FifoEvictionUnderBudget) {
+  PageDiffCache c;
+  c.insert(1, 1, {chunk(40, 1)}, 100);
+  c.insert(1, 2, {chunk(40, 2)}, 100);
+  EXPECT_EQ(c.bytes(), 80u);
+  c.insert(1, 3, {chunk(40, 3)}, 100);  // evicts the oldest, (1,1)
+  EXPECT_EQ(c.find(1, 1), nullptr);
+  ASSERT_NE(c.find(1, 2), nullptr);
+  ASSERT_NE(c.find(1, 3), nullptr);
+  EXPECT_EQ(c.bytes(), 80u);
+}
+
+TEST(PageDiffCache, OversizedEntryIsNotCached) {
+  PageDiffCache c;
+  c.insert(1, 1, {chunk(50, 1)}, 100);
+  c.insert(1, 2, {chunk(200, 2)}, 100);  // bigger than the whole budget
+  EXPECT_EQ(c.find(1, 2), nullptr);
+  ASSERT_NE(c.find(1, 1), nullptr);  // and nothing was evicted for it
+  EXPECT_EQ(c.bytes(), 50u);
+}
+
+TEST(PageDiffCache, MultiChunkEntryCountsAllBytes) {
+  PageDiffCache c;
+  c.insert(3, 7, {chunk(10, 1), chunk(20, 2)}, 1024);
+  EXPECT_EQ(c.bytes(), 30u);
+  ASSERT_EQ(c.find(3, 7)->size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol level: the cache must be invisible in today's protocol.
+// ---------------------------------------------------------------------------
+
+DsmConfig cfg(std::uint32_t nodes, std::size_t cache_bytes) {
+  DsmConfig c;
+  c.num_nodes = nodes;
+  c.heap_bytes = 4 << 20;
+  c.diff_cache_bytes_per_page = cache_bytes;
+  c.time.cpu_scale = 0.0;  // measured host time out; virtual time deterministic
+  return c;
+}
+
+void multi_writer_workload(Tmk& tmk) {
+  gptr<std::uint64_t> page(kPageSize);  // 512 slots, one page, all writers
+  const std::size_t base = tmk.id() * 32;
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    for (std::size_t k = 0; k < 32; ++k)
+      page[base + k] = tmk.id() * 1000 + round * 100 + k;
+    tmk.barrier();
+    for (std::uint32_t n = 0; n < tmk.nprocs(); ++n)
+      for (std::size_t k = 0; k < 32; ++k)
+        ASSERT_EQ(page[static_cast<std::size_t>(n) * 32 + k],
+                  n * 1000 + round * 100 + k);
+    tmk.barrier();
+  }
+}
+
+TEST(DiffCacheProtocol, SimulatedMetricsUnchangedByCache) {
+  sim::TrafficSnapshot traffic_on, traffic_off;
+  std::uint64_t vtime_on = 0, vtime_off = 0;
+  DsmStatsSnapshot stats_on, stats_off;
+  {
+    DsmRuntime rt(cfg(4, 16 * 1024));
+    rt.run_spmd(multi_writer_workload);
+    traffic_on = rt.traffic();
+    vtime_on = rt.virtual_time_ns();
+    stats_on = rt.total_stats();
+  }
+  {
+    DsmRuntime rt(cfg(4, 0));  // cache disabled
+    rt.run_spmd(multi_writer_workload);
+    traffic_off = rt.traffic();
+    vtime_off = rt.virtual_time_ns();
+    stats_off = rt.total_stats();
+  }
+  // No notice is ever learned twice in the current protocol, so the cache
+  // must neither hit nor change a single simulated metric.
+  EXPECT_EQ(stats_on.diff_cache_hits, 0u);
+  EXPECT_EQ(stats_on.diff_cache_bytes_saved, 0u);
+  EXPECT_EQ(traffic_on.messages, traffic_off.messages);
+  EXPECT_EQ(traffic_on.payload_bytes, traffic_off.payload_bytes);
+  EXPECT_EQ(traffic_on.wire_bytes, traffic_off.wire_bytes);
+  EXPECT_EQ(stats_on.diff_fetches, stats_off.diff_fetches);
+  EXPECT_EQ(stats_on.diffs_applied, stats_off.diffs_applied);
+  // Virtual clocks are only loosely reproducible run-to-run (the compute and
+  // service threads race additive against max-style advances on the same
+  // clock), so compare with a tolerance rather than exactly.
+  const double hi = static_cast<double>(std::max(vtime_on, vtime_off));
+  const double lo = static_cast<double>(std::min(vtime_on, vtime_off));
+  EXPECT_LT((hi - lo) / hi, 0.10);
+}
+
+}  // namespace
+}  // namespace now::tmk

@@ -112,6 +112,112 @@ TEST_P(DiffProperty, RandomPatternRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(0, 24));
 
+// --------------------------------------------------------------------------
+// Word-at-a-time scanner vs the byte-at-a-time reference oracle.
+// --------------------------------------------------------------------------
+
+Page random_page(Rng& rng) {
+  Page p(kPageSize);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.next_u64());
+  return p;
+}
+
+// Random write patterns at every merge_gap in 1..64: the optimized scanner
+// must be byte-identical to the scalar reference, and the diff must
+// round-trip through diff_apply.
+class DiffEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffEquivalence, MatchesScalarReferenceAcrossMergeGaps) {
+  Rng rng(0x9e3779b9u * static_cast<std::uint64_t>(GetParam() + 1));
+  Page twin = random_page(rng);
+  Page cur = twin;
+  const int writes = 1 + static_cast<int>(rng.next_below(300));
+  for (int i = 0; i < writes; ++i) {
+    const std::size_t off = rng.next_below(kPageSize);
+    const std::size_t len = 1 + rng.next_below(std::min<std::size_t>(128, kPageSize - off));
+    for (std::size_t k = 0; k < len; ++k)
+      cur[off + k] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  for (std::size_t gap = 1; gap <= 64; ++gap) {
+    const auto fast = diff_create(twin.data(), cur.data(), kPageSize, gap);
+    const auto scalar = diff_create_scalar(twin.data(), cur.data(), kPageSize, gap);
+    ASSERT_EQ(fast, scalar) << "seed " << GetParam() << " merge_gap " << gap;
+    Page target = twin;
+    diff_apply(target.data(), kPageSize, fast);
+    ASSERT_EQ(target, cur) << "seed " << GetParam() << " merge_gap " << gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffEquivalence, ::testing::Range(0, 16));
+
+TEST(DiffEquivalence, CleanPageIsEmptyOnBothPaths) {
+  Rng rng(77);
+  Page twin = random_page(rng);
+  Page cur = twin;
+  EXPECT_TRUE(diff_create(twin.data(), cur.data(), kPageSize).empty());
+  EXPECT_TRUE(diff_create_scalar(twin.data(), cur.data(), kPageSize).empty());
+}
+
+TEST(DiffEquivalence, FullyDirtyPageIsOneRun) {
+  Page twin(kPageSize, 0x00), cur(kPageSize, 0xff);
+  const auto d = diff_create(twin.data(), cur.data(), kPageSize);
+  ASSERT_EQ(d.size(), 4u + kPageSize);  // one header + the whole page
+  std::uint16_t off, len;
+  std::memcpy(&off, d.data(), 2);
+  std::memcpy(&len, d.data() + 2, 2);
+  EXPECT_EQ(off, 0u);
+  EXPECT_EQ(len, kPageSize);
+  EXPECT_EQ(d, diff_create_scalar(twin.data(), cur.data(), kPageSize));
+}
+
+TEST(DiffEquivalence, RunEndingAtLastByte) {
+  for (std::size_t run_start : {kPageSize - 1, kPageSize - 7, kPageSize - 64}) {
+    Page twin(kPageSize, 0), cur(kPageSize, 0);
+    for (std::size_t i = run_start; i < kPageSize; ++i) cur[i] = 0xee;
+    const auto fast = diff_create(twin.data(), cur.data(), kPageSize);
+    EXPECT_EQ(fast, diff_create_scalar(twin.data(), cur.data(), kPageSize));
+    Page target = twin;
+    diff_apply(target.data(), kPageSize, fast);
+    EXPECT_EQ(target, cur);
+  }
+}
+
+TEST(DiffEquivalence, AlternatingBytePattern) {
+  // Worst case for the word scanner: every other byte differs, so no word or
+  // memcmp stride is ever clean.
+  Page twin(kPageSize, 0), cur(kPageSize, 0);
+  for (std::size_t i = 0; i < kPageSize; i += 2) cur[i] = 1;
+  for (std::size_t gap : {1u, 2u, 8u}) {
+    ASSERT_EQ(diff_create(twin.data(), cur.data(), kPageSize, gap),
+              diff_create_scalar(twin.data(), cur.data(), kPageSize, gap));
+  }
+}
+
+TEST(DiffAppend, AppendsAfterExistingContentAndReportsSize) {
+  Page twin(kPageSize, 0), cur(kPageSize, 0);
+  cur[9] = 3;
+  DiffBytes buf = {0xaa, 0xbb};
+  const std::size_t added = diff_append(buf, twin.data(), cur.data(), kPageSize);
+  EXPECT_EQ(added, 4u + 1u);
+  EXPECT_EQ(buf.size(), 2u + added);
+  EXPECT_EQ(buf[0], 0xaa);
+  EXPECT_EQ(buf[1], 0xbb);
+  const DiffBytes tail(buf.begin() + 2, buf.end());
+  EXPECT_EQ(tail, diff_create(twin.data(), cur.data(), kPageSize));
+}
+
+TEST(DiffAppend, ReusedBufferNeedsNoReallocation) {
+  Page twin(kPageSize, 0), cur(kPageSize, 0xff);
+  DiffBytes buf;
+  diff_append(buf, twin.data(), cur.data(), kPageSize);
+  const auto cap = buf.capacity();
+  const auto* data = buf.data();
+  buf.clear();
+  diff_append(buf, twin.data(), cur.data(), kPageSize);
+  EXPECT_EQ(buf.capacity(), cap);
+  EXPECT_EQ(buf.data(), data);
+}
+
 TEST(DiffDeathTest, CorruptDiffAborts) {
   Page p = zero_page();
   DiffBytes bogus = {0x01, 0x02, 0x03};  // truncated header

@@ -15,6 +15,11 @@ IntervalRecord rec(std::uint32_t node, std::uint32_t seq, std::uint64_t lamport,
   return r;
 }
 
+IntervalRecordPtr recp(std::uint32_t node, std::uint32_t seq, std::uint64_t lamport,
+                       std::vector<PageIndex> pages = {}) {
+  return std::make_shared<const IntervalRecord>(rec(node, seq, lamport, std::move(pages)));
+}
+
 TEST(Intervals, RecordSerializationRoundTrips) {
   ByteWriter w;
   rec(3, 7, 99, {1, 2, 300}).serialize(w);
@@ -49,33 +54,33 @@ TEST(IntervalsDeathTest, AppendOwnMustBeDense) {
 
 TEST(Intervals, MergeReturnsOnlyFreshRecords) {
   KnowledgeLog log(3);
-  auto fresh = log.merge({rec(1, 1, 10), rec(1, 2, 11)});
+  auto fresh = log.merge({recp(1, 1, 10), recp(1, 2, 11)});
   EXPECT_EQ(fresh.size(), 2u);
   // Re-merging the same records (arriving via another path) yields nothing.
-  fresh = log.merge({rec(1, 1, 10), rec(1, 2, 11)});
+  fresh = log.merge({recp(1, 1, 10), recp(1, 2, 11)});
   EXPECT_TRUE(fresh.empty());
   // A partial overlap yields only the new suffix.
-  fresh = log.merge({rec(1, 2, 11), rec(1, 3, 12)});
+  fresh = log.merge({recp(1, 2, 11), recp(1, 3, 12)});
   ASSERT_EQ(fresh.size(), 1u);
-  EXPECT_EQ(fresh[0].seq, 3u);
+  EXPECT_EQ(fresh[0]->seq, 3u);
 }
 
 TEST(IntervalsDeathTest, MergeRejectsGaps) {
   KnowledgeLog log(2);
-  EXPECT_DEATH(log.merge({rec(1, 2, 10)}), "gap");
+  EXPECT_DEATH(log.merge({recp(1, 2, 10)}), "gap");
 }
 
 TEST(Intervals, DeltaSinceIsSuffixPerOrigin) {
   KnowledgeLog log(2);
   log.append_own(rec(0, 1, 1));
   log.append_own(rec(0, 2, 2));
-  log.merge({rec(1, 1, 3)});
+  log.merge({recp(1, 1, 3)});
   auto delta = log.delta_since({1, 0});
   ASSERT_EQ(delta.size(), 2u);  // own seq 2 + node1 seq 1
-  EXPECT_EQ(delta[0].node, 0u);
-  EXPECT_EQ(delta[0].seq, 2u);
-  EXPECT_EQ(delta[1].node, 1u);
-  EXPECT_EQ(delta[1].seq, 1u);
+  EXPECT_EQ(delta[0]->node, 0u);
+  EXPECT_EQ(delta[0]->seq, 2u);
+  EXPECT_EQ(delta[1]->node, 1u);
+  EXPECT_EQ(delta[1]->seq, 1u);
 }
 
 TEST(Intervals, DeltaSinceFullVtIsEmpty) {
@@ -86,12 +91,12 @@ TEST(Intervals, DeltaSinceFullVtIsEmpty) {
 
 TEST(Intervals, RecordsSerializationRoundTrips) {
   ByteWriter w;
-  KnowledgeLog::serialize_records(w, {rec(0, 1, 1, {4}), rec(1, 1, 2, {9, 10})});
+  KnowledgeLog::serialize_records(w, {recp(0, 1, 1, {4}), recp(1, 1, 2, {9, 10})});
   auto buf = w.take();
   ByteReader r(buf);
   auto out = KnowledgeLog::deserialize_records(r);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[1].pages, (std::vector<PageIndex>{9, 10}));
+  EXPECT_EQ(out[1]->pages, (std::vector<PageIndex>{9, 10}));
 }
 
 TEST(Intervals, VtSerializationRoundTrips) {
@@ -102,12 +107,35 @@ TEST(Intervals, VtSerializationRoundTrips) {
   EXPECT_EQ(KnowledgeLog::deserialize_vt(r), (VectorTime{3, 0, 7}));
 }
 
+TEST(Intervals, MergeAndDeltaShareRecordStorage) {
+  // The zero-copy contract: merging and delta extraction pass the same
+  // immutable record around instead of duplicating its page vector.
+  KnowledgeLog log(2);
+  auto r = recp(1, 1, 7, {10, 11, 12});
+  auto fresh = log.merge({r});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].get(), r.get());
+  auto delta = log.delta_since({0, 0});
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].get(), r.get());
+  EXPECT_EQ(log.records_of(1)[0].get(), r.get());
+}
+
+TEST(Intervals, SerializedSizeMatchesWireBytes) {
+  const std::vector<IntervalRecordPtr> recs = {recp(0, 1, 1, {4}),
+                                               recp(1, 1, 2, {9, 10, 11})};
+  ByteWriter w;
+  KnowledgeLog::serialize_records(w, recs);
+  EXPECT_EQ(w.size(), KnowledgeLog::records_serialized_size(recs));
+  EXPECT_EQ(recs[1]->serialized_size(), 4u + 4u + 8u + 4u + 4u * 3u);
+}
+
 TEST(Intervals, TransitiveKnowledgeFlow) {
   // A learns B's records, then forwards them to C in its delta: the lazy RC
   // requirement that consistency information flows along sync chains.
   KnowledgeLog a(3), c(3);
   a.append_own(rec(0, 1, 1, {5}));
-  a.merge({rec(1, 1, 2, {6})});
+  a.merge({recp(1, 1, 2, {6})});
   auto delta = a.delta_since(c.vt());
   auto fresh = c.merge(delta);
   EXPECT_EQ(fresh.size(), 2u);
