@@ -21,22 +21,24 @@ int main(int argc, char** argv) {
 
   Table t({"Application", "MB OpenMP", "MB Tmk", "MB MPI", "Msg OpenMP",
            "Msg Tmk", "Msg MPI"});
-  // Requester-side diff cache activity: fetch round trips the DSM versions
-  // skipped because the diffs were already held locally.  Zero everywhere
-  // today — no (writer, seq) is requested twice in the current protocol —
-  // and the column is here precisely so any protocol change that starts
-  // re-fetching (or legitimately saving) shows up in the trajectory.
-  Table c({"Application", "DCacheHit OpenMP", "DCacheHit Tmk", "KB saved OpenMP",
-           "KB saved Tmk"});
+  // Barrier-GC and requester-side diff cache activity: records and diff
+  // bytes the DSM versions reclaimed at barriers, and the fetch round trips
+  // they then skipped because GC had pinned the diffs locally before their
+  // writers dropped them.  Barrier-free applications (TSP's lock-only phases)
+  // legitimately reclaim nothing.
+  Table c({"Application", "GcRec OpenMP", "GcRec Tmk", "GcKB OpenMP",
+           "GcKB Tmk", "DCacheHit Tmk", "KB saved Tmk"});
   auto add = [&](const char* name, const VersionedResults& r) {
     t.add_row({name, Table::fmt(r.omp.traffic.wire_mbytes()),
                Table::fmt(r.tmk.traffic.wire_mbytes()),
                Table::fmt(r.mpi.traffic.wire_mbytes()),
                Table::fmt(r.omp.traffic.messages), Table::fmt(r.tmk.traffic.messages),
                Table::fmt(r.mpi.traffic.messages)});
-    c.add_row({name, Table::fmt(r.omp.dsm.diff_cache_hits),
+    c.add_row({name, Table::fmt(r.omp.dsm.gc_records_reclaimed),
+               Table::fmt(r.tmk.dsm.gc_records_reclaimed),
+               Table::fmt(static_cast<double>(r.omp.dsm.gc_diff_bytes_reclaimed) / 1024.0, 1),
+               Table::fmt(static_cast<double>(r.tmk.dsm.gc_diff_bytes_reclaimed) / 1024.0, 1),
                Table::fmt(r.tmk.dsm.diff_cache_hits),
-               Table::fmt(static_cast<double>(r.omp.dsm.diff_cache_bytes_saved) / 1024.0, 1),
                Table::fmt(static_cast<double>(r.tmk.dsm.diff_cache_bytes_saved) / 1024.0, 1)});
   };
 
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\n(expected shape: OpenMP ~ Tmk; DSM versions send more"
                "\n messages than MPI for the regular applications)\n";
-  std::cout << "\n== requester-side diff cache ==\n";
+  std::cout << "\n== barrier-time GC + requester-side diff cache ==\n";
   c.print(std::cout);
   return 0;
 }

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the diff engine.
+
+Compares `bench_micro --json` output against the checked-in baseline
+(bench/baselines/diff_micro.json) and fails loudly when the fast/scalar
+speedup ratio of any case regresses past its tolerance.  The ratio — not the
+absolute MB/s — is gated: the scalar reference oracle is built from the same
+tree with the same flags, so it normalizes the CI runner's CPU out of the
+measurement, and a slowdown in diff_create drops the ratio on every machine.
+
+Usage:
+    ./build/bench_micro --json | python3 bench/check_trajectory.py
+    python3 bench/check_trajectory.py --measured out.json
+    ./build/bench_micro --json | python3 bench/check_trajectory.py --update
+
+Exit status: 0 when every case is within tolerance, 1 on regression (or,
+with --strict, on a suspicious improvement that suggests the scalar oracle
+regressed or the baseline is stale).
+"""
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baselines", "diff_micro.json")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="baseline JSON (default: bench/baselines/diff_micro.json)")
+    ap.add_argument("--measured", default="-",
+                    help="bench_micro --json output (default: stdin)")
+    ap.add_argument("--strict", action="store_true",
+                    help="also fail when a case improves past its tolerance "
+                         "(stale baseline, or the scalar oracle regressed)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's speedups from the measurement "
+                         "(tolerances and comments preserved)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    measured = json.load(sys.stdin) if args.measured == "-" else load(args.measured)
+
+    failures, warnings = [], []
+
+    if measured.get("page_size") != baseline.get("page_size"):
+        failures.append("page_size mismatch: measured %s, baseline %s — "
+                        "the per-iteration work changed; refresh the baseline "
+                        "deliberately" % (measured.get("page_size"),
+                                          baseline.get("page_size")))
+
+    cases = measured.get("diff_create_mbps", {})
+    default_tol = float(baseline.get("default_tolerance", 0.25))
+    for name, base_case in baseline.get("cases", {}).items():
+        if name not in cases:
+            failures.append("case %r missing from bench_micro output" % name)
+            continue
+        got = float(cases[name]["speedup"])
+        want = float(base_case["speedup"])
+        tol = float(base_case.get("tolerance", default_tol))
+        lo, hi = want * (1.0 - tol), want * (1.0 + tol)
+        line = "%-14s speedup %6.2fx  (baseline %.2fx, allowed [%.2f, %.2f])" % (
+            name, got, want, lo, hi)
+        if got < lo:
+            failures.append("REGRESSION: " + line)
+        elif got > hi:
+            warnings.append("improved past tolerance: " + line +
+                            " — refresh the baseline (--update)")
+            print("  WARN " + line)
+        else:
+            print("  ok   " + line)
+
+    for name in cases:
+        if name not in baseline.get("cases", {}):
+            warnings.append("case %r measured but not in the baseline; add it" % name)
+
+    if args.update:
+        for name, base_case in baseline["cases"].items():
+            if name in cases:
+                base_case["speedup"] = round(float(cases[name]["speedup"]), 2)
+        baseline["page_size"] = measured.get("page_size", baseline.get("page_size"))
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print("baseline updated: %s" % args.baseline)
+        return 0
+
+    for w in warnings:
+        print("WARNING: %s" % w, file=sys.stderr)
+    if failures or (args.strict and warnings):
+        print("\ndiff-throughput trajectory check FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        if args.strict:
+            for w in warnings:
+                print("  " + w, file=sys.stderr)
+        print("(baseline: %s; refresh deliberately with --update)" % args.baseline,
+              file=sys.stderr)
+        return 1
+    print("diff-throughput trajectory within tolerance of %s" % args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,13 +30,25 @@ struct DsmConfig {
   double twin_copy_us = 10.0;            // 4 KB page copy on 1998 hardware
   double barrier_manager_us = 30.0;      // manager bookkeeping at departure
 
+  // Garbage-collect consistency metadata at barriers (TreadMarks-style): the
+  // manager piggybacks the minimal vector time across all arrivals on the
+  // departure message, and each node reclaims knowledge-log records and its
+  // own diff-store entries below it (diffs one barrier delayed, after every
+  // node has validated its pages).  Without it, logs and diff stores grow
+  // without bound with barrier count.
+  bool gc_at_barriers = true;
+
   // Per-page byte budget for the requester-side diff cache (already-fetched
   // diff chunks kept so a refault never re-requests them); 0 disables it.
-  // Off by default: the current protocol never requests the same
-  // (writer, seq) twice (tmk_diff_cache_test proves a 0% hit rate), so
-  // retaining copies would be pure fault-path overhead today.  Turn it on
-  // when a refetching consumer lands (log GC, prefetch, restart recovery).
-  std::size_t diff_cache_bytes_per_page = 0;
+  // Barrier-time GC is its load-bearing consumer: the GC pass prefetches a
+  // page's still-unapplied old diffs into the cache (pinned, never evicted)
+  // so a post-GC fault is served locally after the writer reclaimed them.
+  // Once a page's pinned bytes exceed this budget — a page written every
+  // epoch but never read here — the GC pass applies the backlog and unpins
+  // it, so the cache stays bounded per page.  With the cache disabled, GC
+  // applies old diffs eagerly at every barrier instead (same bytes, but the
+  // page loses its lazy fault).
+  std::size_t diff_cache_bytes_per_page = 16 * 1024;
 
   // When true, each service-thread request handled also injects a random
   // short host-level delay, shaking out message-ordering assumptions in

@@ -17,8 +17,15 @@ namespace now::tmk {
 
 namespace detail {
 // Base address of the region owned by the node bound to the current thread.
-// Set by the runtime for compute threads; zero elsewhere.
-extern thread_local std::uint8_t* t_region_base;
+// Set by the runtime for compute threads; null elsewhere.  A function-local
+// constant-initialized TLS slot rather than an extern thread_local: the
+// extern form goes through gcc's TLS init-wrapper, whose indirection UBSan
+// reports as a null load on every gptr dereference; the local form compiles
+// to a direct TLS access.
+inline std::uint8_t*& region_base() {
+  static thread_local std::uint8_t* base = nullptr;
+  return base;
+}
 }  // namespace detail
 
 template <typename T>
@@ -33,9 +40,17 @@ class gptr {
 
   std::uint64_t offset() const { return offset_; }
 
-  // Resolve against the current thread's node region.
+  // Resolve against the current thread's node region.  The asm is a
+  // compiler barrier: DSM page contents change underneath plain loads (the
+  // service thread invalidates, the fault handler patches diffs in), so
+  // every resolve must yield a fresh, un-hoistable access — the flag-polling
+  // idiom of the paper's Figure 1 breaks if the compiler caches a shared
+  // load across a gptr dereference.  Hot kernels call get() once and index
+  // the raw pointer, so they lose nothing.
   T* get() const {
-    return reinterpret_cast<T*>(detail::t_region_base + offset_);
+    std::uint8_t* base = detail::region_base();
+    asm volatile("" : "+r"(base) : : "memory");
+    return reinterpret_cast<T*>(base + offset_);
   }
   std::add_lvalue_reference_t<T> operator*() const { return *get(); }
   T* operator->() const { return get(); }

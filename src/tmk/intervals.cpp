@@ -28,14 +28,14 @@ IntervalRecord IntervalRecord::deserialize(ByteReader& r) {
 VectorTime KnowledgeLog::vt() const {
   VectorTime out(per_node_.size());
   for (std::size_t i = 0; i < per_node_.size(); ++i)
-    out[i] = per_node_[i].empty() ? 0 : per_node_[i].back()->seq;
+    out[i] = per_node_[i].empty() ? gc_floor_[i] : per_node_[i].back()->seq;
   return out;
 }
 
 void KnowledgeLog::append_own(IntervalRecord rec) {
   NOW_CHECK_LT(rec.node, per_node_.size());
   auto& log = per_node_[rec.node];
-  NOW_CHECK_EQ(rec.seq, (log.empty() ? 0u : log.back()->seq) + 1)
+  NOW_CHECK_EQ(rec.seq, seq_of(rec.node) + 1)
       << "own interval sequence must be dense";
   max_lamport_ = std::max(max_lamport_, rec.lamport);
   log.push_back(std::make_shared<const IntervalRecord>(std::move(rec)));
@@ -47,7 +47,7 @@ std::vector<IntervalRecordPtr> KnowledgeLog::merge(
   for (const IntervalRecordPtr& rec : recs) {
     NOW_CHECK_LT(rec->node, per_node_.size());
     auto& log = per_node_[rec->node];
-    const std::uint32_t have = log.empty() ? 0 : log.back()->seq;
+    const std::uint32_t have = seq_of(rec->node);
     if (rec->seq <= have) continue;  // duplicate via another path
     NOW_CHECK_EQ(rec->seq, have + 1)
         << "gap in interval records for node " << rec->node
@@ -64,10 +64,13 @@ std::vector<IntervalRecordPtr> KnowledgeLog::delta_since(const VectorTime& since
   std::vector<IntervalRecordPtr> out;
   for (std::size_t n = 0; n < per_node_.size(); ++n) {
     const auto& log = per_node_[n];
+    NOW_CHECK_GE(since[n], gc_floor_[n])
+        << "delta for node " << n << " would need reclaimed records: floor is "
+        << gc_floor_[n] << ", caller knows only " << since[n];
     // Explicit suffix lookup by sequence number: records are stored
     // seq-ascending, but the suffix is found by comparing seqs rather than by
-    // assuming the log is dense from seq 1 — a prefix truncated by a future
-    // GC pass must not silently shift the delta.
+    // assuming the log is dense from seq 1 — a prefix truncated by GC must
+    // not silently shift the delta.
     auto it = std::upper_bound(
         log.begin(), log.end(), since[n],
         [](std::uint32_t seq, const IntervalRecordPtr& r) { return seq < r->seq; });
@@ -79,6 +82,28 @@ std::vector<IntervalRecordPtr> KnowledgeLog::delta_since(const VectorTime& since
     out.insert(out.end(), it, log.end());
   }
   return out;
+}
+
+std::size_t KnowledgeLog::gc_to(const VectorTime& floor) {
+  NOW_CHECK_EQ(floor.size(), per_node_.size());
+  std::size_t dropped = 0;
+  for (std::size_t n = 0; n < per_node_.size(); ++n) {
+    if (floor[n] <= gc_floor_[n]) continue;  // floors are monotone
+    auto& log = per_node_[n];
+    auto it = std::upper_bound(
+        log.begin(), log.end(), floor[n],
+        [](std::uint32_t seq, const IntervalRecordPtr& r) { return seq < r->seq; });
+    dropped += static_cast<std::size_t>(it - log.begin());
+    log.erase(log.begin(), it);
+    gc_floor_[n] = floor[n];
+  }
+  return dropped;
+}
+
+std::size_t KnowledgeLog::total_records() const {
+  std::size_t total = 0;
+  for (const auto& log : per_node_) total += log.size();
+  return total;
 }
 
 std::size_t KnowledgeLog::records_serialized_size(

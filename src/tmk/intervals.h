@@ -15,6 +15,7 @@
 // times per barrier on an N-node run).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -27,6 +28,16 @@ namespace now::tmk {
 // Vector time: for each node, the highest interval sequence number known.
 // Interval sequence numbers are dense per node, starting at 1.
 using VectorTime = std::vector<std::uint32_t>;
+
+inline VectorTime vt_max(VectorTime a, const VectorTime& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
+  return a;
+}
+
+inline VectorTime vt_min(VectorTime a, const VectorTime& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::min(a[i], b[i]);
+  return a;
+}
 
 struct IntervalRecord {
   std::uint32_t node = 0;     // origin (the writer)
@@ -45,19 +56,25 @@ struct IntervalRecord {
 // by every log, delta and message assembly that mentions the record.
 using IntervalRecordPtr = std::shared_ptr<const IntervalRecord>;
 
-// Append-only log of every interval record a node knows, ordered by (origin,
-// seq).  Deltas are contiguous suffixes per origin, so both delta extraction
-// and merging stay linear.
+// Log of every interval record a node knows, ordered by (origin, seq).
+// Deltas are contiguous suffixes per origin, so both delta extraction and
+// merging stay linear.  Append-only between garbage-collection passes:
+// gc_to() reclaims a per-origin prefix once a barrier has proven that every
+// node's vector time dominates it, leaving `gc_floor_` behind so sequence
+// arithmetic stays correct on the now-sparse log.
 class KnowledgeLog {
  public:
-  explicit KnowledgeLog(std::uint32_t num_nodes) : per_node_(num_nodes) {}
+  explicit KnowledgeLog(std::uint32_t num_nodes)
+      : per_node_(num_nodes), gc_floor_(num_nodes, 0) {}
 
   std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(per_node_.size()); }
 
-  // Highest sequence known per origin.
+  // Highest sequence known per origin.  An origin whose records were all
+  // reclaimed is still *known* up to the floor, so the floor is returned —
+  // not 0 — and sequence arithmetic on sparse logs stays correct.
   VectorTime vt() const;
   std::uint32_t seq_of(std::uint32_t node) const {
-    return per_node_[node].empty() ? 0 : per_node_[node].back()->seq;
+    return per_node_[node].empty() ? gc_floor_[node] : per_node_[node].back()->seq;
   }
 
   // Appends a locally created record; seq must be the next in sequence.
@@ -70,8 +87,27 @@ class KnowledgeLog {
   // valid forever (records are immutable once logged).
   std::vector<IntervalRecordPtr> merge(const std::vector<IntervalRecordPtr>& recs);
 
-  // All records with seq greater than `since[origin]`.
+  // All records with seq greater than `since[origin]`.  `since` must
+  // dominate the GC floor: a delta that would need reclaimed records is a
+  // protocol error (the floor only ever covers records every node already
+  // has), and is checked.
   std::vector<IntervalRecordPtr> delta_since(const VectorTime& since) const;
+
+  // Reclaims every record with seq <= floor[origin] and raises the
+  // per-origin floor.  The floor may exceed the highest held sequence for an
+  // origin (manager logs only learn records routed through them): the log
+  // then acts as if it knew the skipped records — seq_of() reports the floor
+  // and merge() accepts a suffix starting at floor+1 — which is sound
+  // because a post-GC delta_since() is never asked for records below the
+  // floor.  Floors never move backwards.  Returns the number of records
+  // dropped.
+  std::size_t gc_to(const VectorTime& floor);
+
+  std::uint32_t gc_floor(std::uint32_t node) const { return gc_floor_[node]; }
+
+  // Records currently held (reclaimed ones excluded) — the memory high-water
+  // metric the barrier-GC stress test watches.
+  std::size_t total_records() const;
 
   // Highest lamport value across all known records (0 if none).
   std::uint64_t max_lamport() const { return max_lamport_; }
@@ -89,6 +125,7 @@ class KnowledgeLog {
 
  private:
   std::vector<std::vector<IntervalRecordPtr>> per_node_;
+  VectorTime gc_floor_;  // per origin: highest reclaimed sequence
   std::uint64_t max_lamport_ = 0;
 };
 

@@ -28,15 +28,17 @@ enum MsgType : std::uint16_t {
 
   // Barriers (centralized manager)
   kBarrierArrive = 9,   // node -> manager, + records (release)
-  kBarrierDepart = 10,  // manager -> node, + merged records (acquire)
+  kBarrierDepart = 10,  // manager -> node: GC floor (the minimal vector time
+                        // across all arrivals) + merged records (acquire)
 
   // Semaphores (static manager; two messages per operation, as in the paper)
-  kSemaSignal = 11,  // signaler -> manager, + records (release)
+  kSemaSignal = 11,  // signaler -> manager, + GC floor + records (release)
   kSemaAck = 12,     // manager -> signaler
   kSemaWait = 13,    // waiter -> manager (acquire)
   kSemaGrant = 14,   // manager -> waiter, + records
 
-  // Condition variables (queued at the associated lock's manager)
+  // Condition variables (queued at the associated lock's manager).  Deltas
+  // bound for the manager log carry the sender's GC floor, like kSemaSignal.
   kCondWait = 15,       // waiter -> manager: releases lock, joins cond queue
   kCondSignal = 16,     // signaler -> manager
   kCondBroadcast = 17,  // signaler -> manager

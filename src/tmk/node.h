@@ -5,10 +5,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -74,6 +76,19 @@ class Node {
 
   sim::VirtualClock& clock() { return clock_; }
   DsmStats& stats() { return stats_; }
+
+  // Consistency-metadata footprint, for the barrier-GC plateau tests and
+  // benches.  Taken under the owning mutexes; the manager-duty log is
+  // deliberately excluded (service-thread-owned, lock-free) — its reclaim
+  // activity shows up in the gc_records_reclaimed counter instead.
+  struct MetaFootprint {
+    std::size_t log_records = 0;        // knowledge-log interval records held
+    std::size_t diff_store_entries = 0; // (page, seq) diff entries held
+    std::size_t diff_store_bytes = 0;   // bytes across those entries
+    std::size_t diff_cache_bytes = 0;   // requester-side cache bytes (pins
+                                        // included) across all pages
+  };
+  MetaFootprint meta_footprint();
   // Prints lock-client and manager state to stderr (deadlock forensics).
   void debug_dump();
   // Charge accumulated compute time to the virtual clock.
@@ -95,7 +110,40 @@ class Node {
   void materialize_twin(PageIndex page, PageEntry& entry);
   void invalidate_page(PageIndex page, PageEntry& entry);  // holds entry.mu
 
+  // ---------- barrier-time GC (compute thread, on barrier departure) ----------
+  // Applies the manager's piggybacked minimal vector time: truncates the
+  // knowledge log and sent-caches to the floor, ensures every write notice at
+  // or below it has its diff locally (pinned in the page diff cache, or
+  // applied eagerly when the cache is disabled), and reclaims own diff-store
+  // entries from the previous epoch's floor (one barrier delayed, so
+  // in-flight validation fetches are always served).
+  void gc_at_barrier(const VectorTime& floor);
+  // The validation pass of gc_at_barrier: fetch + pin/apply old diffs.
+  void gc_validate_pages(const VectorTime& floor);
+  // Floor most recently applied by gc_at_barrier (piggybacked on messages
+  // whose records merge into a peer's manager log, so the sparse manager log
+  // can raise its own floor before merging).
+  VectorTime gc_floor_snapshot();
+  // Raises the manager-duty log's floor to a sender's piggybacked floor
+  // before merging its delta (service thread only).
+  void mgr_gc_to(const VectorTime& floor);
+
   // ---------- messaging ----------
+  // Batched diff fetch, shared by the fault path and the GC validation pass
+  // (the kDiffRequest wire layout lives in exactly one requester).  One
+  // pipelined request per want; the returned chunk views point into the
+  // reply payloads appended to `replies`, which the caller keeps alive for
+  // as long as the views are used.  Counts the round trips in diff_fetches.
+  using DiffChunkView = std::pair<const std::uint8_t*, std::size_t>;
+  using DiffKey = std::tuple<PageIndex, std::uint32_t, std::uint32_t>;
+  struct DiffWant {
+    PageIndex page = 0;
+    std::uint32_t writer = 0;
+    std::vector<std::uint32_t> seqs;
+  };
+  std::map<DiffKey, std::vector<DiffChunkView>> fetch_diffs(
+      const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies);
+
   enum class Cache { kNodeLog, kMgrLog };
   // Delta of interval records the peer's node/manager log is missing,
   // advancing the corresponding sent-cache.  `extra` (if given) is the
@@ -147,6 +195,15 @@ class Node {
   std::mutex store_mu_;
   std::unordered_map<std::uint64_t, std::vector<DiffBytes>> diff_store_;
 
+  // ---- barrier-GC scan index (gc_scan_mu_) ----
+  // Pages that may hold unapplied notices: appended by merge_and_invalidate,
+  // swapped out (and re-seeded with the still-dirty survivors) by the GC
+  // validation pass, which is therefore O(pages with notices) per barrier
+  // instead of O(heap pages).  May hold duplicates and already-clean pages;
+  // the scan tolerates both.  Unused (and empty) when gc_at_barriers is off.
+  std::mutex gc_scan_mu_;
+  std::vector<PageIndex> gc_scan_pages_;
+
   // ---- consistency metadata (meta_mu_) ----
   std::mutex meta_mu_;
   KnowledgeLog log_;
@@ -154,6 +211,14 @@ class Node {
   std::uint64_t own_lamport_ = 0;  // lamport of last closed interval
   std::vector<VectorTime> sent_node_vt_;  // per peer: what their node log has
   std::vector<VectorTime> sent_mgr_vt_;   // per peer: what their mgr log has
+  VectorTime gc_floor_applied_;           // last barrier-GC floor applied
+
+  // Own-diff reclamation floor: the previous barrier's floor component for
+  // this node.  Diff-store entries at or below it are dropped one barrier
+  // after the floor was announced — by then every node has validated its
+  // pages against it, so no fetch for them can still be in flight.
+  // Compute-thread only.
+  std::uint32_t gc_drop_seq_ = 0;
 
   // ---- lock client state (lock_client_mu_) ----
   struct PendingGrant {

@@ -10,17 +10,9 @@
 
 namespace now::tmk {
 
-namespace detail {
-thread_local std::uint8_t* t_region_base = nullptr;
-}  // namespace detail
-
 namespace {
 std::uint64_t diff_key(PageIndex page, std::uint32_t seq) {
   return (static_cast<std::uint64_t>(page) << 32) | seq;
-}
-VectorTime vt_max(VectorTime a, const VectorTime& b) {
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
-  return a;
 }
 }  // namespace
 
@@ -32,6 +24,7 @@ Node::Node(DsmRuntime& rt, std::uint32_t id)
       log_(num_nodes_),
       sent_node_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
       sent_mgr_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
+      gc_floor_applied_(num_nodes_, 0),
       mgr_(num_nodes_),
       stress_rng_(rt.config().stress_seed + id) {}
 
@@ -46,7 +39,7 @@ void Node::join_service() {
 }
 
 void Node::bind_compute_thread() {
-  detail::t_region_base = rt_.arena().region_base(id_);
+  detail::region_base() = rt_.arena().region_base(id_);
   cpu_meter_.rebase();
 }
 
@@ -115,10 +108,17 @@ void Node::merge_and_invalidate(const std::vector<IntervalRecordPtr>& recs) {
       if (e.state != PageState::kInvalid) invalidate_page(page, e);
     }
   }
+  // Seed the barrier-GC scan with the pages that just gained notices.
+  if (!fresh.empty() && rt_.config().gc_at_barriers) {
+    std::lock_guard<std::mutex> lock(gc_scan_mu_);
+    for (const IntervalRecordPtr& recp : fresh)
+      gc_scan_pages_.insert(gc_scan_pages_.end(), recp->pages.begin(),
+                            recp->pages.end());
+  }
   // Invalidation mprotects are protocol work, not application compute; when
   // running on the compute thread, keep them out of the meter.  (The service
   // thread also merges — flush/fork/join — but never owns the meter.)
-  if (detail::t_region_base == rt_.arena().region_base(id_)) cpu_meter_.rebase();
+  if (detail::region_base() == rt_.arena().region_base(id_)) cpu_meter_.rebase();
 }
 
 void Node::invalidate_page(PageIndex page, PageEntry& e) {
@@ -154,9 +154,84 @@ void Node::materialize_twin(PageIndex page, PageEntry& e) {
   e.twin.data.reset();
 }
 
+VectorTime Node::gc_floor_snapshot() {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return gc_floor_applied_;
+}
+
+Node::MetaFootprint Node::meta_footprint() {
+  MetaFootprint f;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    f.log_records = log_.total_records();
+  }
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    f.diff_store_entries = diff_store_.size();
+    for (const auto& [key, chunks] : diff_store_)
+      for (const DiffBytes& d : chunks) f.diff_store_bytes += d.size();
+  }
+  for (PageEntry& e : pages_) {
+    std::lock_guard<std::mutex> lock(e.mu);
+    f.diff_cache_bytes += e.diff_cache.bytes();
+  }
+  return f;
+}
+
 // ---------------------------------------------------------------------------
 // Messaging helpers
 // ---------------------------------------------------------------------------
+
+std::map<Node::DiffKey, std::vector<Node::DiffChunkView>> Node::fetch_diffs(
+    const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies) {
+  // All requests go out before any wait (TreadMarks pipelines these to hide
+  // latency).
+  struct Call {
+    std::uint64_t tok = 0;
+    PageIndex page = 0;
+    std::uint32_t writer = 0;
+  };
+  std::vector<Call> calls;
+  calls.reserve(wants.size());
+  for (const DiffWant& want : wants) {
+    NOW_CHECK_NE(want.writer, id_) << "unapplied notice for our own interval";
+    ByteWriter w;
+    w.u32(want.page);
+    w.u32(static_cast<std::uint32_t>(want.seqs.size()));
+    for (std::uint32_t s : want.seqs) w.u32(s);
+    const std::uint64_t tok = rpc_.begin();
+    sim::Message m;
+    m.type = kDiffRequest;
+    m.dst = want.writer;
+    m.seq = tok;
+    m.payload = w.take();
+    send_compute(std::move(m));
+    calls.push_back({tok, want.page, want.writer});
+  }
+  stats_.diff_fetches.fetch_add(calls.size(), std::memory_order_relaxed);
+
+  // The chunk views point into the reply payloads (zero-copy: the only copy
+  // left to the caller is whatever it does with the chunks).  The payload
+  // heap buffers are stable even if `replies` reallocates.
+  std::map<DiffKey, std::vector<DiffChunkView>> got;
+  replies.reserve(replies.size() + calls.size());
+  for (const Call& c : calls) {
+    replies.push_back(rpc_.wait(c.tok));
+    const sim::Message& reply = replies.back();
+    arrive(reply);
+    ByteReader r(reply.payload);
+    const PageIndex rpage = r.u32();
+    NOW_CHECK_EQ(rpage, c.page);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t seq = r.u32();
+      const std::uint32_t nchunks = r.u32();
+      auto& chunks = got[{c.page, c.writer, seq}];
+      for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes_view());
+    }
+  }
+  return got;
+}
 
 std::vector<IntervalRecordPtr> Node::take_delta_for(std::uint32_t peer, Cache which,
                                                     const VectorTime* extra) {

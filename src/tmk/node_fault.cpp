@@ -16,7 +16,7 @@
 namespace now::tmk {
 
 void Node::handle_fault(void* addr) {
-  NOW_CHECK(detail::t_region_base == rt_.arena().region_base(id_))
+  NOW_CHECK(detail::region_base() == rt_.arena().region_base(id_))
       << "shared memory of node " << id_
       << " touched from a thread not bound to it";
   // The compute stretch that ended in this fault includes the kernel's
@@ -64,9 +64,18 @@ void Node::handle_fault(void* addr) {
       // Reads cannot fault on PROT_READ, so this is a write upgrade.
       stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
       if (e.twin_valid && e.twin.seq <= own_seq_) {
-        // The pending twin belongs to an already-closed interval; its diff
-        // must be fixed before the page changes again.
-        materialize_twin(page, e);
+        if (e.twin.seq <= gc_drop_seq_) {
+          // The interval's diffs were already reclaimed everywhere, so no
+          // diff from this twin can ever be wanted (it can only still be
+          // pending when no peer fetched it, e.g. single-node runs): drop
+          // it instead of materializing a dead diff.
+          e.twin_valid = false;
+          e.twin.data.reset();
+        } else {
+          // The pending twin belongs to an already-closed interval; its
+          // diff must be fixed before the page changes again.
+          materialize_twin(page, e);
+        }
       }
       if (!e.twin_valid) {
         e.twin.data = std::make_unique<std::uint8_t[]>(kPageSize);
@@ -105,10 +114,12 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
         return;
       }
       want = e.unapplied;
-      // Chunks fetched by an earlier fault need no round trip at all; only
-      // the compute thread mutates the cache, so the partition stays valid
-      // after the lock drops.  Skipped entirely when the cache is disabled
-      // (the default) so the hot path pays nothing for it.
+      // Chunks already held locally — pinned by the barrier-GC prefetch
+      // (whose writers may have reclaimed them since) or kept from an
+      // earlier fault — need no round trip at all; only the compute thread
+      // mutates the cache, so the partition stays valid after the lock
+      // drops.  Skipped entirely when the cache is disabled so the hot path
+      // pays nothing for it.
       if (cache_budget > 0) {
         for (const auto& n : want) {
           if (const auto* chunks = e.diff_cache.find(n.writer, n.seq)) {
@@ -132,66 +143,20 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
                                               std::memory_order_relaxed);
     }
 
-    // One diff request per writer, issued in parallel (TreadMarks pipelines
-    // these to hide latency).
+    // One diff request per writer, assembled for the shared batched fetch;
+    // the reply chunk views stay alive in `replies` until the end of the
+    // iteration (zero-copy apply: the only copy left is the memcpy of the
+    // patched ranges themselves).
     std::map<std::uint32_t, std::vector<std::uint32_t>> by_writer;
-    for (const auto& n : to_fetch) {
-      NOW_CHECK_NE(n.writer, id_) << "unapplied notice for our own interval";
-      by_writer[n.writer].push_back(n.seq);
-    }
-    struct Call {
-      std::uint64_t tok;
-      std::uint32_t writer;
-    };
-    std::vector<Call> calls;
-    calls.reserve(by_writer.size());
-    for (const auto& [writer, seqs] : by_writer) {
-      ByteWriter w;
-      w.u32(page);
-      w.u32(static_cast<std::uint32_t>(seqs.size()));
-      for (std::uint32_t s : seqs) w.u32(s);
-      const std::uint64_t tok = rpc_.begin();
-      sim::Message m;
-      m.type = kDiffRequest;
-      m.dst = writer;
-      m.seq = tok;
-      m.payload = w.take();
-      send_compute(std::move(m));
-      calls.push_back({tok, writer});
-    }
-    stats_.diff_fetches.fetch_add(calls.size(), std::memory_order_relaxed);
-
-    // (writer, seq) -> diff chunk views into the reply payloads, which stay
-    // alive in `replies` until the end of the iteration (zero-copy apply:
-    // the only copy left is the memcpy of the patched ranges themselves).
-    using ChunkView = std::pair<const std::uint8_t*, std::size_t>;
-    std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<ChunkView>> got;
+    for (const auto& n : to_fetch) by_writer[n.writer].push_back(n.seq);
+    std::vector<DiffWant> wants;
+    wants.reserve(by_writer.size());
+    for (auto& [writer, seqs] : by_writer)
+      wants.push_back({page, writer, std::move(seqs)});
     std::vector<sim::Message> replies;
-    replies.reserve(calls.size());
-    for (const Call& c : calls) {
-      replies.push_back(rpc_.wait(c.tok));
-      const sim::Message& reply = replies.back();
-      arrive(reply);
-      ByteReader r(reply.payload);
-      const PageIndex rpage = r.u32();
-      NOW_CHECK_EQ(rpage, page);
-      const std::uint32_t n = r.u32();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint32_t seq = r.u32();
-        const std::uint32_t nchunks = r.u32();
-        auto& chunks = got[{c.writer, seq}];
-        for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes_view());
-      }
-    }
+    auto got = fetch_diffs(wants, replies);
 
-    // Apply in a linear extension of happens-before: lamport order, node id
-    // as the tie-break (ties are concurrent intervals whose diffs touch
-    // disjoint bytes in race-free programs).
-    std::stable_sort(want.begin(), want.end(),
-                     [](const UnappliedNotice& a, const UnappliedNotice& b) {
-                       if (a.lamport != b.lamport) return a.lamport < b.lamport;
-                       return a.writer < b.writer;
-                     });
+    std::stable_sort(want.begin(), want.end(), applies_before);
 
     std::lock_guard<std::mutex> lock(e.mu);
     rt_.arena().protect_rw(id_, page);
@@ -199,9 +164,9 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     std::size_t patched = 0;
     std::uint64_t applied = 0;
     for (const auto& n : want) {
-      auto it = got.find({n.writer, n.seq});
+      auto it = got.find({page, n.writer, n.seq});
       if (it != got.end()) {
-        for (const ChunkView& d : it->second) {
+        for (const DiffChunkView& d : it->second) {
           patched += diff_apply(mem, kPageSize, d.first, d.second);
           ++applied;
         }
@@ -215,21 +180,18 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
         patched += diff_apply(mem, kPageSize, d);
         ++applied;
       }
+      // An applied interval is never wanted again; release the entry (this
+      // is what unpins barrier-GC prefetches once they have served their
+      // fault).
+      e.diff_cache.erase(n.writer, n.seq);
     }
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));
-
-    // Retain what we just fetched: a later refault that wants any of these
-    // intervals again is then served locally, with no message at all.
-    if (cache_budget > 0) {
-      for (auto& [key, views] : got) {
-        std::vector<DiffBytes> owned;
-        owned.reserve(views.size());
-        for (const ChunkView& v : views) owned.emplace_back(v.first, v.first + v.second);
-        e.diff_cache.insert(key.first, key.second, std::move(owned), cache_budget);
-      }
-    }
+    // Nothing fetched here is retained: an applied interval is never wanted
+    // again (each (writer, seq) is learned and invalidated at most once),
+    // so copying the reply chunks into the cache would be pure overhead.
+    // Only the barrier-GC prefetch populates the cache.
 
     // Drop what we applied; the service thread may have appended more
     // notices (a flush) while we were fetching — loop if so.

@@ -5,6 +5,8 @@
 // proposes to remove), and the Tmk_fork/Tmk_join pair OpenMP-style execution
 // rides on.
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 #include "common/bytes.h"
 #include "common/log.h"
@@ -42,7 +44,9 @@ void Node::barrier() {
 
   sim::Message reply = rpc_call(mgr, kBarrierArrive, w.take());
   ByteReader r(reply.payload);
+  const VectorTime floor = KnowledgeLog::deserialize_vt(r);
   merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+  if (rt_.config().gc_at_barriers) gc_at_barrier(floor);
 }
 
 void Node::on_barrier_arrive(sim::Message&& m) {
@@ -62,8 +66,20 @@ void Node::on_barrier_arrive(sim::Message&& m) {
     depart_ts = std::max(depart_ts, arr.arrive_ts);
   depart_ts += static_cast<std::uint64_t>(rt_.config().barrier_manager_us * 1000.0);
 
+  // The GC floor: the minimal vector time across all arrivals.  Every node's
+  // knowledge dominated it when it arrived, so records at or below it can be
+  // reclaimed everywhere; it rides on each departure message.
+  VectorTime floor = mgr_.barrier.arrivals.front().vt;
+  for (const auto& arr : mgr_.barrier.arrivals) floor = vt_min(std::move(floor), arr.vt);
+  if (rt_.config().gc_at_barriers) {
+    const std::size_t dropped = mgr_.log.gc_to(floor);
+    if (dropped)
+      stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
+  }
+
   for (const auto& arr : mgr_.barrier.arrivals) {
     ByteWriter w;
+    KnowledgeLog::serialize_vt(w, floor);
     KnowledgeLog::serialize_records(w, mgr_.log.delta_since(arr.vt));
     sim::Message depart;
     depart.type = kBarrierDepart;
@@ -75,6 +91,193 @@ void Node::on_barrier_arrive(sim::Message&& m) {
     rt_.net().send(std::move(depart));
   }
   mgr_.barrier.arrivals.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Barrier-time garbage collection (TreadMarks-style, at every barrier)
+// ---------------------------------------------------------------------------
+
+void Node::mgr_gc_to(const VectorTime& floor) {
+  const std::size_t dropped = mgr_.log.gc_to(floor);
+  if (dropped)
+    stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+void Node::gc_at_barrier(const VectorTime& floor) {
+  // Own diff-store entries are reclaimed one barrier late: this pass drops
+  // entries at or below the *previous* floor, while the current floor's
+  // diffs stay servable until every node has validated its pages against it.
+  // (Causality makes the delay sufficient: a peer's validation fetch is
+  // replied to before the peer can arrive at the next barrier, and this node
+  // only reclaims after that next barrier departs.)
+  const std::uint32_t prev_drop = gc_drop_seq_;
+  gc_drop_seq_ = floor[id_];
+
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    const std::size_t dropped = log_.gc_to(floor);
+    if (dropped)
+      stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
+    // Every node already knows the records below the floor, so they must
+    // never ride a delta again: raise the sent-caches so delta_since never
+    // reaches into the reclaimed prefix.
+    for (std::uint32_t p = 0; p < num_nodes_; ++p) {
+      sent_node_vt_[p] = vt_max(std::move(sent_node_vt_[p]), floor);
+      sent_mgr_vt_[p] = vt_max(std::move(sent_mgr_vt_[p]), floor);
+    }
+    gc_floor_applied_ = vt_max(std::move(gc_floor_applied_), floor);
+  }
+
+  gc_validate_pages(floor);
+
+  if (prev_drop > 0) {
+    std::uint64_t bytes = 0;
+    std::size_t entries = 0;
+    std::lock_guard<std::mutex> lock(store_mu_);
+    for (auto it = diff_store_.begin(); it != diff_store_.end();) {
+      if (static_cast<std::uint32_t>(it->first) <= prev_drop) {
+        for (const DiffBytes& d : it->second) bytes += d.size();
+        ++entries;
+        it = diff_store_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (entries) {
+      stats_.gc_diff_bytes_reclaimed.fetch_add(bytes, std::memory_order_relaxed);
+      NOW_LOG(kDebug, "node %u GC: reclaimed %zu diff entries (%llu bytes) <= seq %u",
+              id_, entries, static_cast<unsigned long long>(bytes), prev_drop);
+    }
+  }
+}
+
+void Node::gc_validate_pages(const VectorTime& floor) {
+  const std::size_t cache_budget = rt_.config().diff_cache_bytes_per_page;
+
+  // Scan the pages merge_and_invalidate flagged as carrying notices (not the
+  // whole heap), collecting the write notices at or below the floor whose
+  // diffs are not already held locally.  Pages still carrying notices are
+  // re-flagged for the next pass — a notice that is above this floor will be
+  // below a later one.  Only the compute thread removes notices or touches
+  // the diff cache, so the collected work stays valid after the page locks
+  // drop; the service thread can only append newer (above-floor) notices
+  // meanwhile.
+  std::vector<PageIndex> scan;
+  {
+    std::lock_guard<std::mutex> lock(gc_scan_mu_);
+    scan.swap(gc_scan_pages_);
+  }
+  std::sort(scan.begin(), scan.end());
+  scan.erase(std::unique(scan.begin(), scan.end()), scan.end());
+
+  struct PageWork {
+    PageIndex page = 0;
+    std::vector<UnappliedNotice> old;                       // every old notice
+    std::map<std::uint32_t, std::vector<std::uint32_t>> fetch;  // writer -> seqs
+  };
+  std::vector<PageWork> work;
+  std::vector<PageIndex> keep;  // pages to revisit at the next barrier
+  for (PageIndex page : scan) {
+    PageEntry& e = pages_[page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (e.unapplied.empty()) continue;  // a fault applied everything already
+    keep.push_back(page);
+    PageWork w;
+    w.page = page;
+    for (const UnappliedNotice& n : e.unapplied) {
+      if (n.seq > floor[n.writer]) continue;
+      w.old.push_back(n);
+      // Already pinned by a previous GC pass (no fault consumed it yet).
+      if (cache_budget > 0 && e.diff_cache.find(n.writer, n.seq) != nullptr) continue;
+      w.fetch[n.writer].push_back(n.seq);
+    }
+    if (!w.old.empty()) work.push_back(std::move(w));
+  }
+  if (!keep.empty()) {
+    std::lock_guard<std::mutex> lock(gc_scan_mu_);
+    gc_scan_pages_.insert(gc_scan_pages_.end(), keep.begin(), keep.end());
+  }
+  if (work.empty()) return;
+
+  // Fetch: one request per (page, writer), through the shared batched path.
+  // (w.fetch is kept intact — the pin step below walks it again.)
+  std::vector<DiffWant> wants;
+  for (const PageWork& w : work)
+    for (const auto& [writer, seqs] : w.fetch)
+      wants.push_back({w.page, writer, seqs});
+  std::vector<sim::Message> replies;
+  auto got = fetch_diffs(wants, replies);
+
+  // Stash or apply.  With the diff cache enabled the page stays invalid and
+  // lazy — the fetched chunks are pinned locally and the next fault applies
+  // them (the cache's first real hits) — until the page's pinned bytes
+  // exceed the budget, at which point the backlog is applied and unpinned
+  // right here, so a page nobody ever reads cannot accumulate pins forever.
+  // With the cache disabled, the old diffs are applied immediately.  Either
+  // way old notices lamport-precede anything learned after the barrier
+  // (their writers knew every reclaimed record when they created them), so
+  // applying the old prefix early is byte-identical to a later full apply.
+  for (PageWork& w : work) {
+    PageEntry& e = pages_[w.page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    NOW_CHECK(e.state == PageState::kInvalid)
+        << "page " << w.page << " has unapplied notices but is not invalid";
+    if (cache_budget > 0) {
+      for (const auto& [writer, seqs] : w.fetch) {
+        for (std::uint32_t seq : seqs) {
+          auto it = got.find({w.page, writer, seq});
+          NOW_CHECK(it != got.end())
+              << "writer " << writer << " had no diff for page " << w.page
+              << " interval " << seq;
+          std::vector<DiffBytes> owned;
+          owned.reserve(it->second.size());
+          for (const DiffChunkView& v : it->second)
+            owned.emplace_back(v.first, v.first + v.second);
+          e.diff_cache.insert_gc(writer, seq, std::move(owned));
+        }
+      }
+      if (e.diff_cache.bytes() <= cache_budget) continue;  // stay lazy
+    }
+
+    std::stable_sort(w.old.begin(), w.old.end(), applies_before);
+    rt_.arena().protect_rw(id_, w.page);
+    std::uint8_t* mem = rt_.arena().page_ptr(id_, w.page);
+    std::size_t patched = 0;
+    std::uint64_t applied = 0;
+    for (const UnappliedNotice& n : w.old) {
+      if (cache_budget > 0) {
+        // Everything old is pinned by now (this pass or an earlier one).
+        const auto* cached = e.diff_cache.find(n.writer, n.seq);
+        NOW_CHECK(cached != nullptr)
+            << "writer " << n.writer << " had no pinned diff for page "
+            << w.page << " interval " << n.seq;
+        for (const DiffBytes& d : *cached) {
+          patched += diff_apply(mem, kPageSize, d);
+          ++applied;
+        }
+        e.diff_cache.erase(n.writer, n.seq);
+      } else {
+        auto it = got.find({w.page, n.writer, n.seq});
+        NOW_CHECK(it != got.end())
+            << "writer " << n.writer << " had no diff for page " << w.page
+            << " interval " << n.seq;
+        for (const DiffChunkView& d : it->second) {
+          patched += diff_apply(mem, kPageSize, d.first, d.second);
+          ++applied;
+        }
+      }
+    }
+    e.unapplied.erase(
+        std::remove_if(e.unapplied.begin(), e.unapplied.end(),
+                       [&](const UnappliedNotice& n) {
+                         return n.seq <= floor[n.writer];
+                       }),
+        e.unapplied.end());
+    rt_.arena().protect_none(id_, w.page);  // stays invalid: the fault is lazy
+    stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
+    clock_.advance_us(rt_.config().diff_apply_per_kb_us *
+                      (static_cast<double>(patched) / 1024.0));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -280,6 +483,12 @@ void Node::sema_signal(std::uint32_t sema_id) {
   auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
   ByteWriter w;
   w.u32(sema_id);
+  // The GC floor rides on every delta bound for a manager log: the sparse
+  // manager log raises its own floor before merging, so a delta that starts
+  // above records the manager never saw still merges contiguously — with no
+  // assumption about whether the manager has processed its own barrier
+  // departure yet.
+  KnowledgeLog::serialize_vt(w, gc_floor_snapshot());
   KnowledgeLog::serialize_records(w, delta);
   rpc_call(mgr, kSemaSignal, w.take());  // kSemaAck
 }
@@ -307,6 +516,7 @@ void Node::on_sema_wait(sim::Message&& m) {
 void Node::on_sema_signal(sim::Message&& m) {
   ByteReader r(m.payload);
   const std::uint32_t sema_id = r.u32();
+  mgr_gc_to(KnowledgeLog::deserialize_vt(r));
   mgr_.log.merge(KnowledgeLog::deserialize_records(r));
   SemaMgrState& S = mgr_.semas[sema_id];
   if (!S.waiters.empty()) {
@@ -351,6 +561,7 @@ void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     KnowledgeLog::serialize_vt(w, log_.vt());
+    KnowledgeLog::serialize_vt(w, gc_floor_applied_);  // see sema_signal
   }
   KnowledgeLog::serialize_records(w, delta);
   sim::Message m;
@@ -405,6 +616,7 @@ void Node::cond_notify(std::uint32_t lock_id, std::uint32_t cond_id, bool broadc
   ByteWriter w;
   w.u32(lock_id);
   w.u32(cond_id);
+  KnowledgeLog::serialize_vt(w, gc_floor_snapshot());  // see sema_signal
   KnowledgeLog::serialize_records(w, delta);
   sim::Message m;
   m.type = broadcast ? kCondBroadcast : kCondSignal;
@@ -427,6 +639,7 @@ void Node::on_cond_wait(sim::Message&& m) {
   const std::uint32_t lock_id = r.u32();
   const std::uint32_t cond_id = r.u32();
   VectorTime vt = KnowledgeLog::deserialize_vt(r);
+  mgr_gc_to(KnowledgeLog::deserialize_vt(r));
   mgr_.log.merge(KnowledgeLog::deserialize_records(r));
   mgr_.conds[cond_key(lock_id, cond_id)].push_back({m.src, std::move(vt)});
 }
@@ -435,6 +648,7 @@ void Node::on_cond_signal(sim::Message&& m, bool broadcast) {
   ByteReader r(m.payload);
   const std::uint32_t lock_id = r.u32();
   const std::uint32_t cond_id = r.u32();
+  mgr_gc_to(KnowledgeLog::deserialize_vt(r));
   mgr_.log.merge(KnowledgeLog::deserialize_records(r));
   NOW_LOG(kDebug, "node %u MGR: cond_%s from %u (waiters=%zu)", id_,
           broadcast ? "broadcast" : "signal", m.src,

@@ -37,24 +37,41 @@ struct UnappliedNotice {
   std::uint64_t lamport = 0;
 };
 
+// The linear extension of happens-before in which diffs are applied: lamport
+// order, writer id as the tie-break (ties are concurrent intervals whose
+// diffs touch disjoint bytes in race-free programs).  Both the fault path
+// and the barrier-GC eager-apply path sort by exactly this predicate — a
+// divergence would change page bytes, so there is only one copy.
+inline bool applies_before(const UnappliedNotice& a, const UnappliedNotice& b) {
+  if (a.lamport != b.lamport) return a.lamport < b.lamport;
+  return a.writer < b.writer;
+}
+
 // Requester-side cache of already-fetched diff chunks, keyed by (writer,
 // seq).  A node that still holds a diff it fetched earlier can skip the
 // re-request entirely (no message, no wire bytes) when a later fault wants
-// the same interval again — e.g. after a flush-then-refault, or when a future
-// log-GC pass forces a page to be reconstructed.  FIFO eviction under a
-// per-page byte budget keeps the cache from shadowing the whole heap.
+// the same interval again.  Its load-bearing consumer is barrier-time GC:
+// the GC pass prefetches the diffs for a page's remaining old write notices
+// into the cache (insert_gc) just before their writers reclaim them, so a
+// later fault on the page is served locally from the only surviving copy.
+// Pinned entries are exempt from eviction (it would lose data) and are
+// released when applied — by the fault, or by the GC pass itself once a
+// page's pinned bytes exceed the budget (which bounds never-read pages).
+// The budgeted FIFO insert() is for opportunistic consumers that can afford
+// to lose entries (the planned multi-page prefetch); no protocol path uses
+// it today.
 class PageDiffCache {
  public:
   // Chunks for (writer, seq), or nullptr if not cached.  The pointer stays
   // valid until the next insert().
   const std::vector<DiffBytes>* find(std::uint32_t writer, std::uint32_t seq) const {
     auto it = map_.find(key(writer, seq));
-    return it == map_.end() ? nullptr : &it->second;
+    return it == map_.end() ? nullptr : &it->second.chunks;
   }
 
-  // Stores the chunks for (writer, seq), evicting oldest entries to stay
-  // within `budget_bytes`.  A chunk set larger than the whole budget is not
-  // cached at all.  No-op if the key is already present.
+  // Stores the chunks for (writer, seq), evicting oldest unpinned entries to
+  // stay within `budget_bytes`.  A chunk set larger than the whole budget is
+  // not cached at all.  No-op if the key is already present.
   void insert(std::uint32_t writer, std::uint32_t seq,
               std::vector<DiffBytes> chunks, std::size_t budget_bytes) {
     const std::uint64_t k = key(writer, seq);
@@ -65,23 +82,58 @@ class PageDiffCache {
     while (bytes_ + sz > budget_bytes && !order_.empty()) {
       auto victim = map_.find(order_.front());
       order_.pop_front();
-      if (victim == map_.end()) continue;
-      for (const DiffBytes& c : victim->second) bytes_ -= c.size();
+      // A key may be stale (erased, or promoted to pinned since): skip it.
+      if (victim == map_.end() || victim->second.pinned) continue;
+      for (const DiffBytes& c : victim->second.chunks) bytes_ -= c.size();
       map_.erase(victim);
     }
     bytes_ += sz;
     order_.push_back(k);
-    map_.emplace(k, std::move(chunks));
+    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/false});
+  }
+
+  // Pins the chunks for (writer, seq) regardless of the byte budget and
+  // immune to eviction: the barrier-GC pass stores diffs whose writer is
+  // about to reclaim them, so evicting one before it is applied would lose
+  // the only remaining copy.  An existing budgeted copy of the same key is
+  // promoted to pinned in place (its FIFO key goes stale), so a pin can
+  // never be evicted no matter how the entry first arrived.
+  void insert_gc(std::uint32_t writer, std::uint32_t seq,
+                 std::vector<DiffBytes> chunks) {
+    const std::uint64_t k = key(writer, seq);
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      it->second.pinned = true;  // same (writer, seq) => same chunk content
+      return;
+    }
+    for (const DiffBytes& c : chunks) bytes_ += c.size();
+    // Deliberately not queued in order_, so the eviction loop never sees it.
+    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/true});
+  }
+
+  // Drops the entry for (writer, seq) if present (a stale key may linger in
+  // the FIFO order; the eviction loop tolerates that).  Used to release an
+  // entry once its chunks have been applied — an applied interval is never
+  // wanted again.
+  void erase(std::uint32_t writer, std::uint32_t seq) {
+    auto it = map_.find(key(writer, seq));
+    if (it == map_.end()) return;
+    for (const DiffBytes& c : it->second.chunks) bytes_ -= c.size();
+    map_.erase(it);
   }
 
   std::size_t bytes() const { return bytes_; }
   std::size_t entries() const { return map_.size(); }
 
  private:
+  struct Entry {
+    std::vector<DiffBytes> chunks;
+    bool pinned = false;  // exempt from FIFO eviction (barrier-GC prefetch)
+  };
   static std::uint64_t key(std::uint32_t writer, std::uint32_t seq) {
     return (static_cast<std::uint64_t>(writer) << 32) | seq;
   }
-  std::unordered_map<std::uint64_t, std::vector<DiffBytes>> map_;
+  std::unordered_map<std::uint64_t, Entry> map_;
   std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
   std::size_t bytes_ = 0;
 };

@@ -21,6 +21,9 @@ struct DsmStatsSnapshot {
   std::uint64_t diff_bytes_created = 0;
   std::uint64_t twins_created = 0;
   std::uint64_t invalidations = 0;
+  std::uint64_t gc_records_reclaimed = 0;    // interval records dropped at
+                                             // barrier GC (node + mgr logs)
+  std::uint64_t gc_diff_bytes_reclaimed = 0; // diff-store bytes freed by GC
   std::uint64_t lock_acquires = 0;
   std::uint64_t lock_acquires_cached = 0;  // satisfied locally (node was tail)
   std::uint64_t barriers = 0;
@@ -40,6 +43,8 @@ struct DsmStatsSnapshot {
     diff_bytes_created += o.diff_bytes_created;
     twins_created += o.twins_created;
     invalidations += o.invalidations;
+    gc_records_reclaimed += o.gc_records_reclaimed;
+    gc_diff_bytes_reclaimed += o.gc_diff_bytes_reclaimed;
     lock_acquires += o.lock_acquires;
     lock_acquires_cached += o.lock_acquires_cached;
     barriers += o.barriers;
@@ -63,6 +68,8 @@ struct DsmStats {
   std::atomic<std::uint64_t> diff_bytes_created{0};
   std::atomic<std::uint64_t> twins_created{0};
   std::atomic<std::uint64_t> invalidations{0};
+  std::atomic<std::uint64_t> gc_records_reclaimed{0};
+  std::atomic<std::uint64_t> gc_diff_bytes_reclaimed{0};
   std::atomic<std::uint64_t> lock_acquires{0};
   std::atomic<std::uint64_t> lock_acquires_cached{0};
   std::atomic<std::uint64_t> barriers{0};
@@ -83,6 +90,8 @@ struct DsmStats {
     s.diff_bytes_created = diff_bytes_created.load(std::memory_order_relaxed);
     s.twins_created = twins_created.load(std::memory_order_relaxed);
     s.invalidations = invalidations.load(std::memory_order_relaxed);
+    s.gc_records_reclaimed = gc_records_reclaimed.load(std::memory_order_relaxed);
+    s.gc_diff_bytes_reclaimed = gc_diff_bytes_reclaimed.load(std::memory_order_relaxed);
     s.lock_acquires = lock_acquires.load(std::memory_order_relaxed);
     s.lock_acquires_cached = lock_acquires_cached.load(std::memory_order_relaxed);
     s.barriers = barriers.load(std::memory_order_relaxed);

@@ -114,6 +114,11 @@ TEST(Codegen, RejectedProgramReportsErrors) {
 #ifndef NOW_LIB_DIR
 #define NOW_LIB_DIR ""
 #endif
+// Extra flags matching how the archives were built (e.g. -fsanitize=... in
+// the sanitizer CI job: linking instrumented archives needs the same flags).
+#ifndef NOW_EXTRA_CXXFLAGS
+#define NOW_EXTRA_CXXFLAGS ""
+#endif
 
 // End-to-end: translate the pi program, compile it with the host compiler
 // against the built runtime libraries, run it on 4 simulated workstations
@@ -130,7 +135,8 @@ TEST(CodegenIntegration, TranslatedPiProgramComputesPi) {
     out << cpp;
   }
   const std::string compile =
-      "g++ -std=c++20 -O1 -I " + std::string(NOW_SRC_DIR) + " -o " + bin_path +
+      "g++ -std=c++20 -O1 " + std::string(NOW_EXTRA_CXXFLAGS) + " -I " +
+      std::string(NOW_SRC_DIR) + " -o " + bin_path +
       " " + src_path + " " + std::string(NOW_LIB_DIR) + "/tmk/libnow_tmk.a " +
       std::string(NOW_LIB_DIR) + "/common/libnow_common.a -lpthread 2>&1";
   ASSERT_EQ(std::system(compile.c_str()), 0) << compile;

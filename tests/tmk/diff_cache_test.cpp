@@ -1,9 +1,10 @@
 // The requester-side diff cache: structure-level behavior (hit/miss, FIFO
-// eviction under the byte budget) and the protocol-level invariant that the
-// cache never changes what the simulation computes or transmits today — in
-// the current protocol every (writer, seq) notice is learned and fetched at
-// most once, so the hit counter must read zero and traffic must be identical
-// to a run with the cache disabled.
+// eviction under the byte budget, GC pinning) and the protocol-level
+// invariant that with barrier-time GC disabled the cache never changes what
+// the simulation computes or transmits — without GC every (writer, seq)
+// notice is learned and fetched at most once, so the hit counter must read
+// zero and traffic must be identical to a run with the cache disabled.
+// (With GC enabled the cache is load-bearing; tmk_gc_test covers that.)
 #include <gtest/gtest.h>
 
 #include "tmk/tmk.h"
@@ -71,8 +72,46 @@ TEST(PageDiffCache, MultiChunkEntryCountsAllBytes) {
   ASSERT_EQ(c.find(3, 7)->size(), 2u);
 }
 
+TEST(PageDiffCache, GcInsertIgnoresBudgetAndEviction) {
+  PageDiffCache c;
+  c.insert_gc(1, 1, {chunk(500, 1)});  // far beyond any budget given below
+  ASSERT_NE(c.find(1, 1), nullptr);
+  EXPECT_EQ(c.bytes(), 500u);
+  // FIFO inserts under a budget the pinned entry already exceeds must not
+  // evict it: only FIFO-ordered entries are eviction victims.
+  c.insert(2, 1, {chunk(40, 2)}, 100);
+  c.insert(2, 2, {chunk(40, 3)}, 100);
+  c.insert(2, 3, {chunk(40, 4)}, 100);
+  ASSERT_NE(c.find(1, 1), nullptr);  // pin survived
+  EXPECT_EQ(c.find(2, 1), nullptr);  // FIFO entries evicted among themselves
+}
+
+TEST(PageDiffCache, GcInsertPromotesFifoEntryToPinned) {
+  PageDiffCache c;
+  c.insert(1, 1, {chunk(40, 1)}, 100);   // budgeted, evictable
+  c.insert_gc(1, 1, {chunk(40, 1)});     // same key: must become a pin
+  // Enough FIFO churn to evict anything still in eviction order.
+  c.insert(2, 1, {chunk(40, 2)}, 100);
+  c.insert(2, 2, {chunk(40, 3)}, 100);
+  c.insert(2, 3, {chunk(40, 4)}, 100);
+  ASSERT_NE(c.find(1, 1), nullptr);  // survived: promotion un-FIFO'd it
+}
+
+TEST(PageDiffCache, EraseReleasesEntry) {
+  PageDiffCache c;
+  c.insert_gc(1, 1, {chunk(100, 1)});
+  c.insert(2, 1, {chunk(10, 2)}, 1024);
+  c.erase(1, 1);
+  c.erase(9, 9);  // absent: no-op
+  EXPECT_EQ(c.find(1, 1), nullptr);
+  EXPECT_EQ(c.bytes(), 10u);
+  EXPECT_EQ(c.entries(), 1u);
+  c.erase(2, 1);  // FIFO entry: stale key may linger in order, bytes must not
+  EXPECT_EQ(c.bytes(), 0u);
+}
+
 // ---------------------------------------------------------------------------
-// Protocol level: the cache must be invisible in today's protocol.
+// Protocol level: the cache must be invisible with barrier GC off.
 // ---------------------------------------------------------------------------
 
 DsmConfig cfg(std::uint32_t nodes, std::size_t cache_bytes) {
@@ -80,6 +119,7 @@ DsmConfig cfg(std::uint32_t nodes, std::size_t cache_bytes) {
   c.num_nodes = nodes;
   c.heap_bytes = 4 << 20;
   c.diff_cache_bytes_per_page = cache_bytes;
+  c.gc_at_barriers = false;  // GC makes the cache load-bearing; see tmk_gc_test
   c.time.cpu_scale = 0.0;  // measured host time out; virtual time deterministic
   return c;
 }

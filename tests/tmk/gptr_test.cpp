@@ -14,9 +14,9 @@ class GptrTest : public ::testing::Test {
  protected:
   void SetUp() override {
     buf_.resize(4096);
-    detail::t_region_base = buf_.data();
+    detail::region_base() = buf_.data();
   }
-  void TearDown() override { detail::t_region_base = nullptr; }
+  void TearDown() override { detail::region_base() = nullptr; }
   std::vector<std::uint8_t> buf_;
 };
 
@@ -63,7 +63,7 @@ TEST_F(GptrTest, StorableInsideSharedMemory) {
   std::vector<std::uint8_t> other(4096);
   // Copy the "shared page" to the other node's region, as diffs would.
   other = buf_;
-  detail::t_region_base = other.data();
+  detail::region_base() = other.data();
   gptr<std::uint32_t> read = *slot;
   EXPECT_EQ(read.offset(), 256u);
   *read = 7;

@@ -130,6 +130,69 @@ TEST(Intervals, SerializedSizeMatchesWireBytes) {
   EXPECT_EQ(recs[1]->serialized_size(), 4u + 4u + 8u + 4u + 4u * 3u);
 }
 
+TEST(Intervals, GcToDropsPrefixAndKeepsSuffix) {
+  KnowledgeLog log(2);
+  for (std::uint32_t s = 1; s <= 5; ++s) log.append_own(rec(0, s, s));
+  log.merge({recp(1, 1, 10), recp(1, 2, 11)});
+  EXPECT_EQ(log.gc_to({3, 2}), 5u);  // 3 of origin 0, 2 of origin 1
+  EXPECT_EQ(log.gc_floor(0), 3u);
+  EXPECT_EQ(log.gc_floor(1), 2u);
+  EXPECT_EQ(log.total_records(), 2u);
+  ASSERT_EQ(log.records_of(0).size(), 2u);
+  EXPECT_EQ(log.records_of(0)[0]->seq, 4u);
+  // The suffix above the floor is still extractable.
+  auto delta = log.delta_since({3, 2});
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0]->seq, 4u);
+}
+
+// Regression: an origin whose entire log was reclaimed is still known up to
+// the floor — seq_of must report the floor, not 0, or sequence arithmetic
+// (delta extraction, merge contiguity) on the sparse log goes wrong.
+TEST(Intervals, SeqOfReturnsFloorWhenFullyReclaimed) {
+  KnowledgeLog log(2);
+  log.append_own(rec(0, 1, 1));
+  log.append_own(rec(0, 2, 2));
+  EXPECT_EQ(log.gc_to({2, 0}), 2u);
+  EXPECT_EQ(log.seq_of(0), 2u);
+  EXPECT_EQ(log.vt(), (VectorTime{2, 0}));
+  EXPECT_TRUE(log.delta_since({2, 0}).empty());
+  // Appending continues the dense sequence from the floor.
+  log.append_own(rec(0, 3, 3));
+  EXPECT_EQ(log.seq_of(0), 3u);
+}
+
+TEST(Intervals, GcFloorMayExceedHeldRecords) {
+  // A manager log only holds records routed through it; the barrier floor
+  // can cover records it never saw.  After GC it acts as if it knew them:
+  // merges accept the suffix starting at floor+1.
+  KnowledgeLog log(2);
+  log.merge({recp(1, 1, 5)});
+  EXPECT_EQ(log.gc_to({4, 3}), 1u);
+  EXPECT_EQ(log.seq_of(0), 4u);
+  EXPECT_EQ(log.seq_of(1), 3u);
+  auto fresh = log.merge({recp(1, 4, 9)});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(log.seq_of(1), 4u);
+}
+
+TEST(Intervals, GcToIsMonotoneAndIdempotent) {
+  KnowledgeLog log(1);
+  for (std::uint32_t s = 1; s <= 4; ++s) log.append_own(rec(0, s, s));
+  EXPECT_EQ(log.gc_to({3}), 3u);
+  EXPECT_EQ(log.gc_to({3}), 0u);  // idempotent
+  EXPECT_EQ(log.gc_to({2}), 0u);  // floors never move backwards
+  EXPECT_EQ(log.gc_floor(0), 3u);
+  EXPECT_EQ(log.seq_of(0), 4u);
+}
+
+TEST(IntervalsDeathTest, DeltaBelowFloorIsRejected) {
+  KnowledgeLog log(2);
+  for (std::uint32_t s = 1; s <= 3; ++s) log.append_own(rec(0, s, s));
+  log.gc_to({2, 0});
+  EXPECT_DEATH(log.delta_since({1, 0}), "reclaimed");
+}
+
 TEST(Intervals, TransitiveKnowledgeFlow) {
   // A learns B's records, then forwards them to C in its delta: the lazy RC
   // requirement that consistency information flows along sync chains.
