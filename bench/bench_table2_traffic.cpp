@@ -21,25 +21,49 @@ int main(int argc, char** argv) {
 
   Table t({"Application", "MB OpenMP", "MB Tmk", "MB MPI", "Msg OpenMP",
            "Msg Tmk", "Msg MPI"});
-  // Barrier-GC and requester-side diff cache activity: records and diff
-  // bytes the DSM versions reclaimed at barriers, and the fetch round trips
-  // they then skipped because GC had pinned the diffs locally before their
-  // writers dropped them.  Barrier-free applications (TSP's lock-only phases)
-  // legitimately reclaim nothing.
-  Table c({"Application", "GcRec OpenMP", "GcRec Tmk", "GcKB OpenMP",
-           "GcKB Tmk", "DCacheHit Tmk", "KB saved Tmk"});
+  // Barrier-GC, requester-side diff cache and multi-page prefetch activity:
+  // records and diff bytes the DSM versions reclaimed at barriers, the fetch
+  // round trips they skipped because GC pinned or a fault prefetched the
+  // diffs locally, and the neighbor pages those faults batched.  The columns
+  // follow the runtime configuration — with the cache (and therefore
+  // prefetch) compiled off-path the counters cannot move, so their rows are
+  // omitted rather than printed as misleading zeros.  Barrier-free
+  // applications (TSP's lock-only phases) legitimately reclaim nothing.
+  const tmk::DsmConfig dsm = dsm_cfg(kNodes);
+  const bool cache_on = dsm.diff_cache_bytes_per_page > 0;
+  const bool prefetch_on = dsm.prefetch_window() > 0;
+  std::vector<std::string> extra_head{"Application", "GcRec OpenMP", "GcRec Tmk",
+                                      "GcKB OpenMP", "GcKB Tmk"};
+  if (cache_on) {
+    extra_head.push_back("DCacheHit Tmk");
+    extra_head.push_back("KB saved Tmk");
+  }
+  if (prefetch_on) {
+    extra_head.push_back("PfBatched Tmk");
+    extra_head.push_back("PfHit Tmk");
+  }
+  Table c(extra_head);
   auto add = [&](const char* name, const VersionedResults& r) {
     t.add_row({name, Table::fmt(r.omp.traffic.wire_mbytes()),
                Table::fmt(r.tmk.traffic.wire_mbytes()),
                Table::fmt(r.mpi.traffic.wire_mbytes()),
                Table::fmt(r.omp.traffic.messages), Table::fmt(r.tmk.traffic.messages),
                Table::fmt(r.mpi.traffic.messages)});
-    c.add_row({name, Table::fmt(r.omp.dsm.gc_records_reclaimed),
-               Table::fmt(r.tmk.dsm.gc_records_reclaimed),
-               Table::fmt(static_cast<double>(r.omp.dsm.gc_diff_bytes_reclaimed) / 1024.0, 1),
-               Table::fmt(static_cast<double>(r.tmk.dsm.gc_diff_bytes_reclaimed) / 1024.0, 1),
-               Table::fmt(r.tmk.dsm.diff_cache_hits),
-               Table::fmt(static_cast<double>(r.tmk.dsm.diff_cache_bytes_saved) / 1024.0, 1)});
+    std::vector<std::string> row{
+        name, Table::fmt(r.omp.dsm.gc_records_reclaimed),
+        Table::fmt(r.tmk.dsm.gc_records_reclaimed),
+        Table::fmt(static_cast<double>(r.omp.dsm.gc_diff_bytes_reclaimed) / 1024.0, 1),
+        Table::fmt(static_cast<double>(r.tmk.dsm.gc_diff_bytes_reclaimed) / 1024.0, 1)};
+    if (cache_on) {
+      row.push_back(Table::fmt(r.tmk.dsm.diff_cache_hits));
+      row.push_back(
+          Table::fmt(static_cast<double>(r.tmk.dsm.diff_cache_bytes_saved) / 1024.0, 1));
+    }
+    if (prefetch_on) {
+      row.push_back(Table::fmt(r.tmk.dsm.prefetch_requests_batched));
+      row.push_back(Table::fmt(r.tmk.dsm.prefetch_hits));
+    }
+    c.add_row(std::move(row));
   };
 
   add("Sweep3D", run_all(w.sweep, kNodes));
@@ -51,7 +75,7 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\n(expected shape: OpenMP ~ Tmk; DSM versions send more"
                "\n messages than MPI for the regular applications)\n";
-  std::cout << "\n== barrier-time GC + requester-side diff cache ==\n";
+  std::cout << "\n== barrier-time GC + diff cache + multi-page prefetch ==\n";
   c.print(std::cout);
   return 0;
 }

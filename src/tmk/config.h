@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 
 #include "simnet/model.h"
 
@@ -11,6 +12,18 @@ namespace now::tmk {
 inline constexpr std::size_t kPageSize = 4096;
 
 using PageIndex = std::uint32_t;
+
+namespace detail {
+// Environment override for a config default (CI runs the whole test suite
+// under alternate protocol configurations, e.g. TMK_PREFETCH_PAGES=16).
+// Only the *default* is overridden: a test that assigns the field explicitly
+// keeps its value.  An empty variable counts as unset.
+inline std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+}  // namespace detail
 
 struct DsmConfig {
   std::uint32_t num_nodes = 8;
@@ -38,6 +51,19 @@ struct DsmConfig {
   // without bound with barrier count.
   bool gc_at_barriers = true;
 
+  // Multi-page prefetch on fault: when a fault sends a kDiffRequest, up to
+  // this many neighboring invalid pages (the window [page+1, page+N]) with
+  // write notices from the writers already being contacted have their wanted
+  // interval seqs folded into the same request — one round trip fills the
+  // faulting page and populates the neighbors' requester-side diff caches,
+  // so a strided traversal (Sweep3D planes, FFT transposes) pays one message
+  // per window instead of one per page.  Prefetched entries go through the
+  // budgeted FIFO PageDiffCache::insert: droppable, and transparently
+  // refetched by the real fault if evicted.  0 disables prefetch; it is also
+  // inert while the diff cache is disabled (prefetched chunks would have
+  // nowhere to live).  Default overridable via TMK_PREFETCH_PAGES.
+  std::size_t prefetch_pages = detail::env_size("TMK_PREFETCH_PAGES", 4);
+
   // Per-page byte budget for the requester-side diff cache (already-fetched
   // diff chunks kept so a refault never re-requests them); 0 disables it.
   // Barrier-time GC is its load-bearing consumer: the GC pass prefetches a
@@ -47,8 +73,10 @@ struct DsmConfig {
   // epoch but never read here — the GC pass applies the backlog and unpins
   // it, so the cache stays bounded per page.  With the cache disabled, GC
   // applies old diffs eagerly at every barrier instead (same bytes, but the
-  // page loses its lazy fault).
-  std::size_t diff_cache_bytes_per_page = 16 * 1024;
+  // page loses its lazy fault), and multi-page prefetch is inert.  Default
+  // overridable via TMK_DIFF_CACHE_BYTES.
+  std::size_t diff_cache_bytes_per_page =
+      detail::env_size("TMK_DIFF_CACHE_BYTES", 16 * 1024);
 
   // When true, each service-thread request handled also injects a random
   // short host-level delay, shaking out message-ordering assumptions in
@@ -57,6 +85,12 @@ struct DsmConfig {
   std::uint64_t stress_seed = 1;
 
   std::size_t num_pages() const { return heap_bytes / kPageSize; }
+
+  // The prefetch window actually in effect: prefetch rides on the diff
+  // cache, so it is off whenever the cache is.
+  std::size_t prefetch_window() const {
+    return diff_cache_bytes_per_page > 0 ? prefetch_pages : 0;
+  }
 };
 
 }  // namespace now::tmk

@@ -17,9 +17,12 @@ enum MsgType : std::uint16_t {
   kJoin = 2,      // slave -> master: records (release at region end)
   kShutdown = 3,  // master -> slave: leave the fork service loop
 
-  // Page consistency
-  kDiffRequest = 4,  // faulting node -> writer: page + wanted interval seqs
-  kDiffReply = 5,    // writer -> faulting node: diffs
+  // Page consistency.  One request per *writer*, covering every page the
+  // requester wants from it in one round trip: the faulting page plus any
+  // neighbors the multi-page prefetch window folded in (and, at barriers,
+  // every page the GC validation pass needs from that writer).
+  kDiffRequest = 4,  // faulting node -> writer: pages + wanted interval seqs
+  kDiffReply = 5,    // writer -> faulting node: diffs, per page per interval
 
   // Locks (distributed queue: manager forwards to last requester)
   kLockAcquire = 6,  // requester -> manager

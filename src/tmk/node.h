@@ -87,6 +87,8 @@ class Node {
     std::size_t diff_store_bytes = 0;   // bytes across those entries
     std::size_t diff_cache_bytes = 0;   // requester-side cache bytes (pins
                                         // included) across all pages
+    std::size_t diff_cache_pinned_bytes = 0;  // subset held by pinned entries
+                                              // (GC prefetches + promotions)
   };
   MetaFootprint meta_footprint();
   // Prints lock-client and manager state to stderr (deadlock forensics).
@@ -129,11 +131,12 @@ class Node {
   void mgr_gc_to(const VectorTime& floor);
 
   // ---------- messaging ----------
-  // Batched diff fetch, shared by the fault path and the GC validation pass
-  // (the kDiffRequest wire layout lives in exactly one requester).  One
-  // pipelined request per want; the returned chunk views point into the
-  // reply payloads appended to `replies`, which the caller keeps alive for
-  // as long as the views are used.  Counts the round trips in diff_fetches.
+  // Batched diff fetch, shared by the fault path (and its prefetch window)
+  // and the GC validation pass (the kDiffRequest wire layout lives in
+  // exactly one requester).  Wants are grouped into one pipelined multi-page
+  // request per writer; the returned chunk views point into the reply
+  // payloads appended to `replies`, which the caller keeps alive for as long
+  // as the views are used.  Counts the round trips in diff_fetches.
   using DiffChunkView = std::pair<const std::uint8_t*, std::size_t>;
   using DiffKey = std::tuple<PageIndex, std::uint32_t, std::uint32_t>;
   struct DiffWant {

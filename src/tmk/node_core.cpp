@@ -174,6 +174,7 @@ Node::MetaFootprint Node::meta_footprint() {
   for (PageEntry& e : pages_) {
     std::lock_guard<std::mutex> lock(e.mu);
     f.diff_cache_bytes += e.diff_cache.bytes();
+    f.diff_cache_pinned_bytes += e.diff_cache.pinned_bytes();
   }
   return f;
 }
@@ -184,29 +185,43 @@ Node::MetaFootprint Node::meta_footprint() {
 
 std::map<Node::DiffKey, std::vector<Node::DiffChunkView>> Node::fetch_diffs(
     const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies) {
+  // One kDiffRequest per *writer*, carrying every page wanted from it:
+  // a fault and its prefetch window share one round trip, and the GC
+  // validation pass batches a whole barrier's worth of pages per writer.
+  std::map<std::uint32_t, std::vector<const DiffWant*>> by_writer;
+  for (const DiffWant& want : wants) {
+    NOW_CHECK_NE(want.writer, id_) << "unapplied notice for our own interval";
+    by_writer[want.writer].push_back(&want);
+  }
+
   // All requests go out before any wait (TreadMarks pipelines these to hide
   // latency).
   struct Call {
     std::uint64_t tok = 0;
-    PageIndex page = 0;
     std::uint32_t writer = 0;
+    std::vector<PageIndex> pages;  // request order; the reply must echo it
   };
   std::vector<Call> calls;
-  calls.reserve(wants.size());
-  for (const DiffWant& want : wants) {
-    NOW_CHECK_NE(want.writer, id_) << "unapplied notice for our own interval";
+  calls.reserve(by_writer.size());
+  for (const auto& [writer, writer_wants] : by_writer) {
     ByteWriter w;
-    w.u32(want.page);
-    w.u32(static_cast<std::uint32_t>(want.seqs.size()));
-    for (std::uint32_t s : want.seqs) w.u32(s);
+    w.u32(static_cast<std::uint32_t>(writer_wants.size()));
+    std::vector<PageIndex> pages;
+    pages.reserve(writer_wants.size());
+    for (const DiffWant* want : writer_wants) {
+      w.u32(want->page);
+      w.u32(static_cast<std::uint32_t>(want->seqs.size()));
+      for (std::uint32_t s : want->seqs) w.u32(s);
+      pages.push_back(want->page);
+    }
     const std::uint64_t tok = rpc_.begin();
     sim::Message m;
     m.type = kDiffRequest;
-    m.dst = want.writer;
+    m.dst = writer;
     m.seq = tok;
     m.payload = w.take();
     send_compute(std::move(m));
-    calls.push_back({tok, want.page, want.writer});
+    calls.push_back({tok, writer, std::move(pages)});
   }
   stats_.diff_fetches.fetch_add(calls.size(), std::memory_order_relaxed);
 
@@ -220,14 +235,20 @@ std::map<Node::DiffKey, std::vector<Node::DiffChunkView>> Node::fetch_diffs(
     const sim::Message& reply = replies.back();
     arrive(reply);
     ByteReader r(reply.payload);
-    const PageIndex rpage = r.u32();
-    NOW_CHECK_EQ(rpage, c.page);
-    const std::uint32_t n = r.u32();
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const std::uint32_t seq = r.u32();
-      const std::uint32_t nchunks = r.u32();
-      auto& chunks = got[{c.page, c.writer, seq}];
-      for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes_view());
+    const std::uint32_t npages = r.u32();
+    NOW_CHECK_EQ(npages, c.pages.size());
+    for (std::uint32_t p = 0; p < npages; ++p) {
+      const PageIndex rpage = r.u32();
+      // The reply echoes the requested pages in order; a mislabeled page
+      // would silently file chunks under the wrong cache, so fail fast.
+      NOW_CHECK_EQ(rpage, c.pages[p]);
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t seq = r.u32();
+        const std::uint32_t nchunks = r.u32();
+        auto& chunks = got[{rpage, c.writer, seq}];
+        for (std::uint32_t k = 0; k < nchunks; ++k) chunks.push_back(r.bytes_view());
+      }
     }
   }
   return got;

@@ -99,10 +99,11 @@ void Node::handle_fault(void* addr) {
 
 void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
   const std::size_t cache_budget = rt_.config().diff_cache_bytes_per_page;
+  const std::size_t window = rt_.config().prefetch_window();
   for (;;) {
     std::vector<UnappliedNotice> want;
     std::vector<UnappliedNotice> need;  // not already held in the diff cache
-    std::uint64_t cache_hits = 0, cache_bytes = 0;
+    std::uint64_t cache_hits = 0, cache_bytes = 0, pf_hits = 0;
     {
       std::lock_guard<std::mutex> lock(e.mu);
       if (e.unapplied.empty()) {
@@ -114,21 +115,22 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
         return;
       }
       want = e.unapplied;
-      // Chunks already held locally — pinned by the barrier-GC prefetch
-      // (whose writers may have reclaimed them since) or kept from an
-      // earlier fault — need no round trip at all; only the compute thread
-      // mutates the cache, so the partition stays valid after the lock
-      // drops.  Skipped entirely when the cache is disabled so the hot path
-      // pays nothing for it.
+      // Chunks already held locally — parked by a neighbor fault's prefetch,
+      // pinned by the barrier-GC validation pass (whose writers may have
+      // reclaimed them since), or kept from an earlier fault — need no round
+      // trip at all; only the compute thread mutates the cache, so the
+      // partition stays valid after the lock drops.  Skipped entirely when
+      // the cache is disabled so the hot path pays nothing for it.
       if (cache_budget > 0) {
         for (const auto& n : want) {
-          if (const auto* chunks = e.diff_cache.find(n.writer, n.seq)) {
+          if (const auto* ent = e.diff_cache.lookup(n.writer, n.seq)) {
             ++cache_hits;
+            if (ent->prefetched) ++pf_hits;
             // Reply bytes this hit avoids: the per-interval seq + chunk-count
             // header plus each chunk's length prefix and payload.  (A fully
             // suppressed request message saves more still; not counted.)
             cache_bytes += 8;
-            for (const DiffBytes& c : *chunks) cache_bytes += 4 + c.size();
+            for (const DiffBytes& c : ent->chunks) cache_bytes += 4 + c.size();
           } else {
             need.push_back(n);
           }
@@ -141,6 +143,8 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
       stats_.diff_cache_hits.fetch_add(cache_hits, std::memory_order_relaxed);
       stats_.diff_cache_bytes_saved.fetch_add(cache_bytes,
                                               std::memory_order_relaxed);
+      if (pf_hits > 0)
+        stats_.prefetch_hits.fetch_add(pf_hits, std::memory_order_relaxed);
     }
 
     // One diff request per writer, assembled for the shared batched fetch;
@@ -153,8 +157,76 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     wants.reserve(by_writer.size());
     for (auto& [writer, seqs] : by_writer)
       wants.push_back({page, writer, std::move(seqs)});
+
+    // Multi-page prefetch: fold neighboring invalid pages' wanted seqs into
+    // the writer requests this fault already pays for.  Only writers already
+    // being contacted are considered (no extra messages, ever), and only
+    // entries not yet cached.  The collected (writer, seq) list stays valid
+    // after the page locks drop: the service thread can only *append*
+    // notices, and this compute thread is the only one that applies them or
+    // touches the cache.  Nothing here reorders consistency: the neighbor's
+    // chunks are parked in its cache and applied, in lamport order, by its
+    // own fault.
+    struct PrefetchPage {
+      PageIndex page = 0;
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;  // (writer, seq)
+    };
+    std::vector<PrefetchPage> prefetch;
+    if (window > 0 && !wants.empty()) {
+      const std::size_t num_pages = rt_.config().num_pages();
+      const PageIndex last = static_cast<PageIndex>(
+          std::min<std::size_t>(page + window, num_pages - 1));
+      for (PageIndex q = page + 1; q <= last; ++q) {
+        PageEntry& qe = pages_[q];
+        std::lock_guard<std::mutex> qlock(qe.mu);
+        if (qe.state != PageState::kInvalid || qe.unapplied.empty()) continue;
+        PrefetchPage pp;
+        pp.page = q;
+        std::map<std::uint32_t, std::vector<std::uint32_t>> q_by_writer;
+        for (const auto& n : qe.unapplied) {
+          if (by_writer.find(n.writer) == by_writer.end()) continue;
+          if (qe.diff_cache.find(n.writer, n.seq) != nullptr) continue;
+          q_by_writer[n.writer].push_back(n.seq);
+          pp.entries.emplace_back(n.writer, n.seq);
+        }
+        if (pp.entries.empty()) continue;
+        for (auto& [writer, seqs] : q_by_writer)
+          wants.push_back({q, writer, std::move(seqs)});
+        prefetch.push_back(std::move(pp));
+      }
+      if (!prefetch.empty())
+        stats_.prefetch_requests_batched.fetch_add(prefetch.size(),
+                                                   std::memory_order_relaxed);
+    }
+
     std::vector<sim::Message> replies;
     auto got = fetch_diffs(wants, replies);
+
+    // Park the prefetched chunks in their pages' caches for the neighbor's
+    // own fault.  Budgeted FIFO insert: droppable (the writer still holds
+    // the diff — by the GC causality argument nothing wanted mid-epoch is
+    // reclaimed before the next barrier — so the real fault refetches
+    // whatever eviction lost), and a later barrier-GC floor promotes
+    // surviving entries to pins before their writers reclaim.
+    for (const PrefetchPage& pp : prefetch) {
+      PageEntry& qe = pages_[pp.page];
+      std::lock_guard<std::mutex> qlock(qe.mu);
+      bool filled = false;
+      for (const auto& [writer, seq] : pp.entries) {
+        auto it = got.find({pp.page, writer, seq});
+        NOW_CHECK(it != got.end())
+            << "writer " << writer << " had no diff for prefetched page "
+            << pp.page << " interval " << seq;
+        std::vector<DiffBytes> owned;
+        owned.reserve(it->second.size());
+        for (const DiffChunkView& v : it->second)
+          owned.emplace_back(v.first, v.first + v.second);
+        filled |= qe.diff_cache.insert(writer, seq, std::move(owned),
+                                       cache_budget, /*prefetched=*/true);
+      }
+      if (filled)
+        stats_.prefetch_pages_filled.fetch_add(1, std::memory_order_relaxed);
+    }
 
     std::stable_sort(want.begin(), want.end(), applies_before);
 
@@ -188,10 +260,12 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));
-    // Nothing fetched here is retained: an applied interval is never wanted
-    // again (each (writer, seq) is learned and invalidated at most once),
-    // so copying the reply chunks into the cache would be pure overhead.
-    // Only the barrier-GC prefetch populates the cache.
+    // Nothing fetched for the faulting page itself is retained: an applied
+    // interval is never wanted again (each (writer, seq) is learned and
+    // invalidated at most once), so copying its reply chunks into the cache
+    // would be pure overhead.  The cache is populated for *other* pages
+    // only — by the prefetch parking loop above and by the barrier-GC
+    // validation pass.
 
     // Drop what we applied; the service thread may have appended more
     // notices (a flush) while we were fetching — loop if so.

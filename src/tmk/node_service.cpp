@@ -94,43 +94,61 @@ void Node::handle_message(sim::Message&& m) {
 }
 
 void Node::on_diff_request(sim::Message&& m) {
+  // Multi-page request: one message may carry the faulting page, its
+  // prefetch window and (at barriers) every page the requester's GC
+  // validation pass wants from this writer.
   ByteReader r(m.payload);
-  const PageIndex page = r.u32();
-  const std::uint32_t n = r.u32();
-  std::vector<std::uint32_t> seqs(n);
-  for (auto& s : seqs) s = r.u32();
+  const std::uint32_t npages = r.u32();
+  std::vector<std::pair<PageIndex, std::vector<std::uint32_t>>> pages;
+  pages.reserve(npages);
+  for (std::uint32_t p = 0; p < npages; ++p) {
+    const PageIndex page = r.u32();
+    const std::uint32_t n = r.u32();
+    std::vector<std::uint32_t> seqs(n);
+    for (auto& s : seqs) s = r.u32();
+    pages.emplace_back(page, std::move(seqs));
+  }
 
   // Materialize lazily if an interval's twin is still pending.  The page is
   // at most PROT_READ for a closed interval, so its bytes are stable.  (Done
   // before taking store_mu_: materialize_twin takes e.mu then store_mu_.)
-  for (std::uint32_t seq : seqs) {
-    PageEntry& e = pages_[page];
-    std::lock_guard<std::mutex> lock(e.mu);
-    if (e.twin_valid && e.twin.seq == seq) materialize_twin(page, e);
+  for (const auto& [page, seqs] : pages) {
+    for (std::uint32_t seq : seqs) {
+      PageEntry& e = pages_[page];
+      std::lock_guard<std::mutex> lock(e.mu);
+      if (e.twin_valid && e.twin.seq == seq) materialize_twin(page, e);
+    }
   }
 
   ByteWriter w;
   std::lock_guard<std::mutex> lock(store_mu_);
   std::vector<const std::vector<DiffBytes>*> per_seq;
-  per_seq.reserve(seqs.size());
-  std::size_t reply_size = 8;  // page + interval count
-  for (std::uint32_t seq : seqs) {
-    auto it = diff_store_.find(diff_key(page, seq));
-    NOW_CHECK(it != diff_store_.end())
-        << "node " << id_ << " asked for missing diff: page " << page
-        << " interval " << seq;
-    reply_size += 8;  // seq + chunk count
-    for (const DiffBytes& d : it->second) reply_size += 4 + d.size();
-    per_seq.push_back(&it->second);
+  std::size_t reply_size = 4;  // page count
+  for (const auto& [page, seqs] : pages) {
+    reply_size += 8;  // page + interval count
+    for (std::uint32_t seq : seqs) {
+      auto it = diff_store_.find(diff_key(page, seq));
+      NOW_CHECK(it != diff_store_.end())
+          << "node " << id_ << " asked for missing diff: page " << page
+          << " interval " << seq;
+      reply_size += 8;  // seq + chunk count
+      for (const DiffBytes& d : it->second) reply_size += 4 + d.size();
+      per_seq.push_back(&it->second);
+    }
   }
   // One exact reservation for the whole reply, then straight-line appends.
   w.reserve(reply_size);
-  w.u32(page);
-  w.u32(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    w.u32(seqs[i]);
-    w.u32(static_cast<std::uint32_t>(per_seq[i]->size()));
-    for (const DiffBytes& d : *per_seq[i]) w.bytes(d.data(), d.size());
+  w.u32(npages);
+  std::size_t flat = 0;
+  for (const auto& [page, seqs] : pages) {
+    w.u32(page);
+    w.u32(static_cast<std::uint32_t>(seqs.size()));
+    for (std::uint32_t seq : seqs) {
+      w.u32(seq);
+      const std::vector<DiffBytes>& chunks = *per_seq[flat++];
+      w.u32(static_cast<std::uint32_t>(chunks.size()));
+      for (const DiffBytes& d : chunks) w.bytes(d.data(), d.size());
+    }
   }
 
   sim::Message reply;

@@ -187,8 +187,12 @@ void Node::gc_validate_pages(const VectorTime& floor) {
     for (const UnappliedNotice& n : e.unapplied) {
       if (n.seq > floor[n.writer]) continue;
       w.old.push_back(n);
-      // Already pinned by a previous GC pass (no fault consumed it yet).
-      if (cache_budget > 0 && e.diff_cache.find(n.writer, n.seq) != nullptr) continue;
+      // Already held locally: pinned by a previous GC pass (no fault
+      // consumed it yet), or parked as a *droppable* entry by a fault's
+      // prefetch window — promoted to a pin in place, because its writer is
+      // about to reclaim the source copy and eviction would lose the only
+      // survivor.
+      if (cache_budget > 0 && e.diff_cache.pin_existing(n.writer, n.seq)) continue;
       w.fetch[n.writer].push_back(n.seq);
     }
     if (!w.old.empty()) work.push_back(std::move(w));

@@ -50,35 +50,52 @@ inline bool applies_before(const UnappliedNotice& a, const UnappliedNotice& b) {
 // Requester-side cache of already-fetched diff chunks, keyed by (writer,
 // seq).  A node that still holds a diff it fetched earlier can skip the
 // re-request entirely (no message, no wire bytes) when a later fault wants
-// the same interval again.  Its load-bearing consumer is barrier-time GC:
-// the GC pass prefetches the diffs for a page's remaining old write notices
-// into the cache (insert_gc) just before their writers reclaim them, so a
-// later fault on the page is served locally from the only surviving copy.
-// Pinned entries are exempt from eviction (it would lose data) and are
-// released when applied — by the fault, or by the GC pass itself once a
-// page's pinned bytes exceed the budget (which bounds never-read pages).
-// The budgeted FIFO insert() is for opportunistic consumers that can afford
-// to lose entries (the planned multi-page prefetch); no protocol path uses
-// it today.
+// the same interval again.  Two protocol paths feed it:
+//  - barrier-time GC (insert_gc / pin_existing): the validation pass stores
+//    the diffs for a page's remaining old write notices just before their
+//    writers reclaim them.  Those entries are *pinned* — exempt from
+//    eviction (it would lose the only surviving copy) — and are released
+//    when applied, by the fault or by the GC pass itself once a page's
+//    pinned bytes exceed the budget (which bounds never-read pages);
+//  - multi-page prefetch on fault (budgeted FIFO insert): a fault folds
+//    neighboring pages' wanted seqs into its kDiffRequest and parks the
+//    extra chunks here for the neighbor's own fault.  Prefetched entries
+//    are droppable — their writers still hold the diff, so the real fault
+//    can always refetch what eviction lost.  When a barrier-GC floor later
+//    covers a prefetched entry, the validation pass promotes it to a pin
+//    in place rather than refetching.
 class PageDiffCache {
  public:
-  // Chunks for (writer, seq), or nullptr if not cached.  The pointer stays
+  struct Entry {
+    std::vector<DiffBytes> chunks;
+    bool pinned = false;      // exempt from FIFO eviction (barrier-GC)
+    bool prefetched = false;  // arrived via multi-page prefetch (stats only)
+  };
+
+  // Entry for (writer, seq), or nullptr if not cached.  The pointer stays
   // valid until the next insert().
-  const std::vector<DiffBytes>* find(std::uint32_t writer, std::uint32_t seq) const {
+  const Entry* lookup(std::uint32_t writer, std::uint32_t seq) const {
     auto it = map_.find(key(writer, seq));
-    return it == map_.end() ? nullptr : &it->second.chunks;
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  // Chunks for (writer, seq), or nullptr if not cached.
+  const std::vector<DiffBytes>* find(std::uint32_t writer, std::uint32_t seq) const {
+    const Entry* e = lookup(writer, seq);
+    return e == nullptr ? nullptr : &e->chunks;
   }
 
   // Stores the chunks for (writer, seq), evicting oldest unpinned entries to
   // stay within `budget_bytes`.  A chunk set larger than the whole budget is
-  // not cached at all.  No-op if the key is already present.
-  void insert(std::uint32_t writer, std::uint32_t seq,
-              std::vector<DiffBytes> chunks, std::size_t budget_bytes) {
+  // not cached at all.  No-op if the key is already present.  Returns true
+  // if the entry resides in the cache afterwards.
+  bool insert(std::uint32_t writer, std::uint32_t seq,
+              std::vector<DiffBytes> chunks, std::size_t budget_bytes,
+              bool prefetched = false) {
     const std::uint64_t k = key(writer, seq);
-    if (map_.count(k)) return;
+    if (map_.count(k)) return true;
     std::size_t sz = 0;
     for (const DiffBytes& c : chunks) sz += c.size();
-    if (sz > budget_bytes) return;
+    if (sz > budget_bytes) return false;
     while (bytes_ + sz > budget_bytes && !order_.empty()) {
       auto victim = map_.find(order_.front());
       order_.pop_front();
@@ -87,9 +104,14 @@ class PageDiffCache {
       for (const DiffBytes& c : victim->second.chunks) bytes_ -= c.size();
       map_.erase(victim);
     }
+    // Pins alone may already exceed the budget (insert_gc bypasses it, the
+    // GC pass rebalances at the next barrier): a droppable entry must not
+    // land on top of that, or the cache would grow to pins + budget.
+    if (bytes_ + sz > budget_bytes) return false;
     bytes_ += sz;
     order_.push_back(k);
-    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/false});
+    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/false, prefetched});
+    return true;
   }
 
   // Pins the chunks for (writer, seq) regardless of the byte budget and
@@ -100,15 +122,29 @@ class PageDiffCache {
   // never be evicted no matter how the entry first arrived.
   void insert_gc(std::uint32_t writer, std::uint32_t seq,
                  std::vector<DiffBytes> chunks) {
-    const std::uint64_t k = key(writer, seq);
-    auto it = map_.find(k);
-    if (it != map_.end()) {
-      it->second.pinned = true;  // same (writer, seq) => same chunk content
-      return;
-    }
-    for (const DiffBytes& c : chunks) bytes_ += c.size();
+    if (pin_existing(writer, seq)) return;  // same key => same chunk content
+    std::size_t sz = 0;
+    for (const DiffBytes& c : chunks) sz += c.size();
+    bytes_ += sz;
+    pinned_bytes_ += sz;
     // Deliberately not queued in order_, so the eviction loop never sees it.
-    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/true});
+    map_.emplace(key(writer, seq), Entry{std::move(chunks), /*pinned=*/true,
+                                         /*prefetched=*/false});
+  }
+
+  // Promotes an already-held entry to pinned (no-op on pins).  The GC
+  // validation pass uses this when the floor covers an entry a prefetch
+  // already fetched: the chunks are identical, only the eviction class
+  // changes — after the writer reclaims, eviction would lose the only copy.
+  // Returns false if the key is absent.
+  bool pin_existing(std::uint32_t writer, std::uint32_t seq) {
+    auto it = map_.find(key(writer, seq));
+    if (it == map_.end()) return false;
+    if (!it->second.pinned) {
+      it->second.pinned = true;  // its FIFO key goes stale
+      for (const DiffBytes& c : it->second.chunks) pinned_bytes_ += c.size();
+    }
+    return true;
   }
 
   // Drops the entry for (writer, seq) if present (a stale key may linger in
@@ -118,24 +154,25 @@ class PageDiffCache {
   void erase(std::uint32_t writer, std::uint32_t seq) {
     auto it = map_.find(key(writer, seq));
     if (it == map_.end()) return;
-    for (const DiffBytes& c : it->second.chunks) bytes_ -= c.size();
+    std::size_t sz = 0;
+    for (const DiffBytes& c : it->second.chunks) sz += c.size();
+    bytes_ -= sz;
+    if (it->second.pinned) pinned_bytes_ -= sz;
     map_.erase(it);
   }
 
   std::size_t bytes() const { return bytes_; }
+  std::size_t pinned_bytes() const { return pinned_bytes_; }
   std::size_t entries() const { return map_.size(); }
 
  private:
-  struct Entry {
-    std::vector<DiffBytes> chunks;
-    bool pinned = false;  // exempt from FIFO eviction (barrier-GC prefetch)
-  };
   static std::uint64_t key(std::uint32_t writer, std::uint32_t seq) {
     return (static_cast<std::uint64_t>(writer) << 32) | seq;
   }
   std::unordered_map<std::uint64_t, Entry> map_;
   std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
   std::size_t bytes_ = 0;
+  std::size_t pinned_bytes_ = 0;  // subset of bytes_ held by pinned entries
 };
 
 struct PageEntry {

@@ -16,6 +16,12 @@ struct DsmStatsSnapshot {
                                              // avoided (chunk payloads +
                                              // framing; suppressed request
                                              // messages not counted)
+  std::uint64_t prefetch_requests_batched = 0;  // neighbor pages folded into
+                                                // fault-time kDiffRequests
+  std::uint64_t prefetch_pages_filled = 0;   // neighbor pages whose fetched
+                                             // chunks landed in the cache
+  std::uint64_t prefetch_hits = 0;           // cache hits served by an entry
+                                             // a prefetch put there
   std::uint64_t diffs_created = 0;
   std::uint64_t diffs_applied = 0;
   std::uint64_t diff_bytes_created = 0;
@@ -38,6 +44,9 @@ struct DsmStatsSnapshot {
     diff_fetches += o.diff_fetches;
     diff_cache_hits += o.diff_cache_hits;
     diff_cache_bytes_saved += o.diff_cache_bytes_saved;
+    prefetch_requests_batched += o.prefetch_requests_batched;
+    prefetch_pages_filled += o.prefetch_pages_filled;
+    prefetch_hits += o.prefetch_hits;
     diffs_created += o.diffs_created;
     diffs_applied += o.diffs_applied;
     diff_bytes_created += o.diff_bytes_created;
@@ -63,6 +72,9 @@ struct DsmStats {
   std::atomic<std::uint64_t> diff_fetches{0};
   std::atomic<std::uint64_t> diff_cache_hits{0};
   std::atomic<std::uint64_t> diff_cache_bytes_saved{0};
+  std::atomic<std::uint64_t> prefetch_requests_batched{0};
+  std::atomic<std::uint64_t> prefetch_pages_filled{0};
+  std::atomic<std::uint64_t> prefetch_hits{0};
   std::atomic<std::uint64_t> diffs_created{0};
   std::atomic<std::uint64_t> diffs_applied{0};
   std::atomic<std::uint64_t> diff_bytes_created{0};
@@ -85,6 +97,9 @@ struct DsmStats {
     s.diff_fetches = diff_fetches.load(std::memory_order_relaxed);
     s.diff_cache_hits = diff_cache_hits.load(std::memory_order_relaxed);
     s.diff_cache_bytes_saved = diff_cache_bytes_saved.load(std::memory_order_relaxed);
+    s.prefetch_requests_batched = prefetch_requests_batched.load(std::memory_order_relaxed);
+    s.prefetch_pages_filled = prefetch_pages_filled.load(std::memory_order_relaxed);
+    s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
     s.diffs_created = diffs_created.load(std::memory_order_relaxed);
     s.diffs_applied = diffs_applied.load(std::memory_order_relaxed);
     s.diff_bytes_created = diff_bytes_created.load(std::memory_order_relaxed);

@@ -111,14 +111,19 @@ TEST(PageDiffCache, EraseReleasesEntry) {
 }
 
 // ---------------------------------------------------------------------------
-// Protocol level: the cache must be invisible with barrier GC off.
+// Protocol level: the cache must be invisible with barrier GC off AND
+// multi-page prefetch off (each of those is a deliberate consumer; see
+// tmk_gc_test and tmk_prefetch_test).  With prefetch on, the cache is
+// load-bearing even without GC: neighbor faults hit the prefetched entries.
 // ---------------------------------------------------------------------------
 
-DsmConfig cfg(std::uint32_t nodes, std::size_t cache_bytes) {
+DsmConfig cfg(std::uint32_t nodes, std::size_t cache_bytes,
+              std::size_t prefetch = 0) {
   DsmConfig c;
   c.num_nodes = nodes;
   c.heap_bytes = 4 << 20;
   c.diff_cache_bytes_per_page = cache_bytes;
+  c.prefetch_pages = prefetch;
   c.gc_at_barriers = false;  // GC makes the cache load-bearing; see tmk_gc_test
   c.time.cpu_scale = 0.0;  // measured host time out; virtual time deterministic
   return c;
@@ -157,10 +162,12 @@ TEST(DiffCacheProtocol, SimulatedMetricsUnchangedByCache) {
     vtime_off = rt.virtual_time_ns();
     stats_off = rt.total_stats();
   }
-  // No notice is ever learned twice in the current protocol, so the cache
-  // must neither hit nor change a single simulated metric.
+  // No notice is ever learned twice in the current protocol, so with both
+  // deliberate consumers (GC, prefetch) off the cache must neither hit nor
+  // change a single simulated metric.
   EXPECT_EQ(stats_on.diff_cache_hits, 0u);
   EXPECT_EQ(stats_on.diff_cache_bytes_saved, 0u);
+  EXPECT_EQ(stats_on.prefetch_hits, 0u);
   EXPECT_EQ(traffic_on.messages, traffic_off.messages);
   EXPECT_EQ(traffic_on.payload_bytes, traffic_off.payload_bytes);
   EXPECT_EQ(traffic_on.wire_bytes, traffic_off.wire_bytes);
@@ -172,6 +179,85 @@ TEST(DiffCacheProtocol, SimulatedMetricsUnchangedByCache) {
   const double hi = static_cast<double>(std::max(vtime_on, vtime_off));
   const double lo = static_cast<double>(std::min(vtime_on, vtime_off));
   EXPECT_LT((hi - lo) / hi, 0.10);
+}
+
+// With multi-page prefetch enabled the zero-hit expectation flips even with
+// GC off: every node's fault on the shared page cannot prefetch (single
+// page), so spread the writers over several pages — neighbor faults must now
+// be served from prefetched entries, with fewer messages and the same
+// simulated work.
+TEST(DiffCacheProtocol, PrefetchMakesTheCacheLoadBearingWithoutGc) {
+  auto workload = [](Tmk& tmk) {
+    constexpr std::size_t kPages = 8;
+    constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+    gptr<std::uint64_t> base(kPageSize);
+    if (tmk.id() == 0)
+      for (std::size_t pg = 0; pg < kPages; ++pg)
+        for (std::size_t k = 0; k < 8; ++k)
+          base[pg * kWordsPerPage + k] = pg * 100 + k;
+    tmk.barrier();
+    if (tmk.id() == 1)
+      for (std::size_t pg = 0; pg < kPages; ++pg)
+        for (std::size_t k = 0; k < 8; ++k)
+          ASSERT_EQ(base[pg * kWordsPerPage + k], pg * 100 + k);
+    tmk.barrier();
+  };
+  sim::TrafficSnapshot traffic_pf, traffic_off;
+  DsmStatsSnapshot stats_pf;
+  {
+    DsmRuntime rt(cfg(2, 16 * 1024, /*prefetch=*/4));
+    rt.run_spmd(workload);
+    traffic_pf = rt.traffic();
+    stats_pf = rt.total_stats();
+  }
+  {
+    DsmRuntime rt(cfg(2, 16 * 1024, /*prefetch=*/0));
+    rt.run_spmd(workload);
+    traffic_off = rt.traffic();
+  }
+  EXPECT_GT(stats_pf.diff_cache_hits, 0u);
+  EXPECT_EQ(stats_pf.diff_cache_hits, stats_pf.prefetch_hits);
+  EXPECT_GT(stats_pf.diff_cache_bytes_saved, 0u);
+  EXPECT_LT(traffic_pf.messages, traffic_off.messages);
+}
+
+// Budget eviction end to end: prefetched entries beyond
+// diff_cache_bytes_per_page are FIFO-dropped and transparently refetched on
+// the real fault — the counters prove both the drop and the refetch.  Node 0
+// dirties page B across four intervals (~800 bytes each); a budget of 2000
+// bytes keeps only the last two prefetched entries, so B's fault hits twice
+// and refetches the two evicted intervals in one extra message.
+TEST(DiffCacheProtocol, PrefetchedEntriesBeyondBudgetAreDroppedAndRefetched) {
+  constexpr std::size_t kDirtyBytes = 800;
+  constexpr int kIntervals = 4;
+  DsmRuntime rt(cfg(2, /*cache_bytes=*/2000, /*prefetch=*/4));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint8_t> a(kPageSize);              // page A: the faulting page
+    gptr<std::uint8_t> b(kPageSize + kPageSize);  // page B: its neighbor
+    for (int e = 0; e < kIntervals; ++e) {
+      if (tmk.id() == 0) {
+        if (e == 0) a[0] = 7;
+        for (std::size_t i = 0; i < kDirtyBytes; ++i)
+          b[i] = static_cast<std::uint8_t>(100 + e + i);
+      }
+      tmk.barrier();  // each epoch closes one interval with a ~800-byte diff
+    }
+    if (tmk.id() == 1) {
+      EXPECT_EQ(a[0], 7);  // fault on A prefetches B's four intervals
+      for (std::size_t i = 0; i < kDirtyBytes; ++i)
+        EXPECT_EQ(b[i], static_cast<std::uint8_t>(100 + (kIntervals - 1) + i));
+    }
+    tmk.barrier();
+  });
+  const auto s = rt.total_stats();
+  // All four intervals were folded into A's request (one batched page)...
+  EXPECT_EQ(s.prefetch_requests_batched, 1u);
+  EXPECT_EQ(s.prefetch_pages_filled, 1u);
+  // ...but only the last two fit the budget: B's fault hit those two and
+  // refetched the evicted two with one more kDiffRequest.
+  EXPECT_EQ(s.prefetch_hits, 2u);
+  EXPECT_EQ(s.diff_cache_hits, 2u);
+  EXPECT_EQ(rt.traffic().messages_by_type[kDiffRequest], 2u);
 }
 
 }  // namespace

@@ -245,6 +245,77 @@ TEST(GC, NeverReadPagePinnedBytesStayBounded) {
   EXPECT_GT(rt.total_stats().gc_diff_bytes_reclaimed, 0u);
 }
 
+// Prefetch/GC interaction, structure level: a GC pin arriving after a
+// droppable prefetch entry for the same page must evict the droppable
+// entries under budget pressure — never the pin.
+TEST(GC, PinInsertedAfterPrefetchEntryEvictsDroppableNeverPin) {
+  constexpr std::size_t kBudget = 400;
+  PageDiffCache c;
+  c.insert(1, 1, {DiffBytes(40, 1)}, kBudget, /*prefetched=*/true);
+  c.insert(1, 2, {DiffBytes(40, 2)}, kBudget, /*prefetched=*/true);
+  c.insert_gc(2, 9, {DiffBytes(300, 9)});  // pin lands after the prefetches
+  EXPECT_EQ(c.pinned_bytes(), 300u);
+  // Budget pressure: the droppable prefetch entries are the only victims.
+  c.insert(1, 3, {DiffBytes(40, 3)}, kBudget, /*prefetched=*/true);
+  EXPECT_EQ(c.find(1, 1), nullptr);  // oldest droppable evicted
+  ASSERT_NE(c.find(2, 9), nullptr);  // pin untouched
+  ASSERT_NE(c.find(1, 3), nullptr);
+  // A GC pin for a key a prefetch already holds promotes it in place...
+  EXPECT_TRUE(c.pin_existing(1, 2));
+  EXPECT_EQ(c.pinned_bytes(), 340u);
+  // ...after which no amount of FIFO churn can evict it.
+  c.insert(3, 1, {DiffBytes(40, 4)}, kBudget);
+  c.insert(3, 2, {DiffBytes(40, 5)}, kBudget);
+  c.insert(3, 3, {DiffBytes(40, 6)}, kBudget);
+  ASSERT_NE(c.find(1, 2), nullptr);
+  EXPECT_TRUE(c.lookup(1, 2)->pinned);
+  EXPECT_TRUE(c.lookup(1, 2)->prefetched);  // provenance survives promotion
+  // Applying a promoted entry releases its pinned bytes too.
+  c.erase(1, 2);
+  c.erase(2, 9);
+  EXPECT_EQ(c.pinned_bytes(), 0u);
+}
+
+// Prefetch/GC interaction, protocol level: a prefetch that lands just
+// before the writer's one-barrier-delayed reclaim is still served.  Node 1's
+// fault on page A prefetches neighbor B's diff while its write notice is not
+// yet floor-covered; the next barrier's validation pass must promote that
+// droppable entry to a pin (not skip it), because one barrier later the
+// writer reclaims the only other copy.  The late read of B can then only be
+// served from the promoted pin.
+TEST(GC, PrefetchLandingJustBeforeReclaimIsStillServed) {
+  DsmConfig c = cfg(2, /*gc=*/true);
+  c.prefetch_pages = 4;
+  std::size_t pinned_after_validate = 0;
+  DsmRuntime rt(c);
+  rt.run_spmd([&](Tmk& tmk) {
+    gptr<std::uint64_t> a(kPageSize);
+    gptr<std::uint64_t> b(2 * kPageSize);
+    if (tmk.id() == 0) {
+      for (std::size_t i = 0; i < 8; ++i) a[i] = 40 + i;
+      for (std::size_t i = 0; i < 8; ++i) b[i] = 50 + i;
+    }
+    tmk.barrier();  // records travel; the floor does not cover them yet
+    if (tmk.id() == 1)
+      for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(a[i], 40 + i);  // fault on A prefetches B (droppable)
+    tmk.barrier();  // floor covers the writes: validation promotes B's entry
+    if (tmk.id() == 1)
+      pinned_after_validate = tmk.node.meta_footprint().diff_cache_pinned_bytes;
+    tmk.barrier();  // one barrier later: node 0 reclaims its diffs
+    if (tmk.id() == 1)
+      for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(b[i], 50 + i);  // served from the promoted pin
+    tmk.barrier();
+  });
+  const auto s = rt.total_stats();
+  EXPECT_GT(pinned_after_validate, 0u);  // the prefetched entry became a pin
+  EXPECT_EQ(s.prefetch_pages_filled, 1u);
+  EXPECT_GE(s.prefetch_hits, 1u);        // ...and still served the fault
+  EXPECT_GT(s.gc_diff_bytes_reclaimed, 0u);
+  EXPECT_EQ(rt.node(0).meta_footprint().diff_store_entries, 0u);
+}
+
 // Sparse-log deltas after GC: locks, semaphores and condvars keep their
 // record deltas contiguous against floored node logs and floored (sparse)
 // manager logs — the manager learns the floor from the piggyback, never from
