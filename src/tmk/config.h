@@ -1,10 +1,12 @@
 // Configuration for the TreadMarks-like DSM runtime.
 #pragma once
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "simnet/model.h"
 
 namespace now::tmk {
@@ -17,11 +19,24 @@ namespace detail {
 // Environment override for a config default (CI runs the whole test suite
 // under alternate protocol configurations, e.g. TMK_PREFETCH_PAGES=16).
 // Only the *default* is overridden: a test that assigns the field explicitly
-// keeps its value.  An empty variable counts as unset.
+// keeps its value.  An empty variable counts as unset.  Malformed values
+// fail loudly: a CI matrix leg whose knob silently parsed as 0 (or as a
+// digit prefix of a typo) would green-light a configuration that never ran.
 inline std::size_t env_size(const char* name, std::size_t def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
-  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  for (const char* p = v; *p != '\0'; ++p)
+    NOW_CHECK(*p >= '0' && *p <= '9')
+        << "malformed " << name << "='" << v
+        << "': expected a non-negative decimal integer";
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+  NOW_CHECK(errno != ERANGE) << name << "='" << v << "' overflows";
+  return static_cast<std::size_t>(parsed);
+}
+// Boolean env-default override: 0 = off, any other integer = on.
+inline bool env_flag(const char* name, bool def) {
+  return env_size(name, def ? 1 : 0) != 0;
 }
 }  // namespace detail
 
@@ -48,8 +63,49 @@ struct DsmConfig {
   // departure message, and each node reclaims knowledge-log records and its
   // own diff-store entries below it (diffs one barrier delayed, after every
   // node has validated its pages).  Without it, logs and diff stores grow
-  // without bound with barrier count.
-  bool gc_at_barriers = true;
+  // without bound with barrier count.  Default overridable via
+  // TMK_GC_AT_BARRIERS (0 = off), so CI matrix legs can toggle GC without
+  // code changes.
+  bool gc_at_barriers = detail::env_flag("TMK_GC_AT_BARRIERS", true);
+
+  // Adaptive hybrid invalidate/update protocol.  Writers track a per-page
+  // *copyset* (every fault-path kDiffRequest served records the requester as
+  // a reader of the page); a page whose copyset has been identical and
+  // nonempty for `update_promote_epochs` consecutive barrier epochs is
+  // promoted to update mode: at the writer's next barrier arrival it pushes
+  // the epoch's diffs for the page to those readers in one batched
+  // kUpdatePush per reader, and the reader applies them during its own
+  // barrier departure — the page comes out of the barrier valid, paying
+  // neither the trap nor the kDiffRequest/kDiffReply round trip.
+  //
+  // Adaptation is bidirectional.  Reads on a valid page are invisible to the
+  // protocol, so liveness is probed: every `update_reprobe_epochs`-th push
+  // is applied *armed* — page contents current but left unmapped, so the
+  // next access faults once, locally (no messages), and sets the page's
+  // touched bit (the pushes in between, including the first, validate
+  // outright: promotion already rests on faults observed in consecutive
+  // epochs).  An armed page
+  // still untouched at the next barrier means the reader no longer uses the
+  // data: the reader sends the writers a kUpdateDeny and the page demotes
+  // back to invalidate mode (irregular sharing — TSP, QSORT — stays on the
+  // pull path).  Pushes ride the requester-side diff cache keyed by
+  // (writer, interval seq), so a racing pull-path fetch stays idempotent;
+  // update mode is therefore inert while the diff cache is disabled, and
+  // requires num_nodes <= 64 (copysets are bitmasks).  Default overridable
+  // via TMK_UPDATE_MODE.
+  bool update_mode = detail::env_flag("TMK_UPDATE_MODE", false);
+
+  // Consecutive epochs a page's copyset must be stable before it is promoted
+  // to update mode.  Default overridable via TMK_UPDATE_PROMOTE_EPOCHS.
+  std::uint32_t update_promote_epochs = static_cast<std::uint32_t>(
+      detail::env_size("TMK_UPDATE_PROMOTE_EPOCHS", 2));
+
+  // Every Nth push to a page is applied armed (liveness probe, see
+  // update_mode): larger values skip more faults between probes but let a
+  // stale promotion push uselessly for longer.  Must be >= 1.  Default
+  // overridable via TMK_UPDATE_REPROBE_EPOCHS.
+  std::uint32_t update_reprobe_epochs = static_cast<std::uint32_t>(
+      detail::env_size("TMK_UPDATE_REPROBE_EPOCHS", 4));
 
   // Multi-page prefetch on fault: when a fault sends a kDiffRequest, up to
   // this many neighboring invalid pages (the window [page+1, page+N]) with
@@ -90,6 +146,14 @@ struct DsmConfig {
   // cache, so it is off whenever the cache is.
   std::size_t prefetch_window() const {
     return diff_cache_bytes_per_page > 0 ? prefetch_pages : 0;
+  }
+
+  // Whether the adaptive update protocol is actually in effect: pushes park
+  // in the requester-side diff cache (idempotency vs the pull path), so the
+  // protocol is inert while the cache is off, and copyset bitmasks bound the
+  // node count.
+  bool update_enabled() const {
+    return update_mode && diff_cache_bytes_per_page > 0 && num_nodes <= 64;
   }
 };
 

@@ -27,6 +27,8 @@ const char* msg_type_name(std::uint16_t t) {
     case kAllocReply: return "alloc_reply";
     case kFreeRequest: return "free_req";
     case kFreeAck: return "free_ack";
+    case kUpdatePush: return "update_push";
+    case kUpdateDeny: return "update_deny";
     default: return "unknown";
   }
 }

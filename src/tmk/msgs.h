@@ -56,6 +56,16 @@ enum MsgType : std::uint16_t {
   kFreeRequest = 22,
   kFreeAck = 23,
 
+  // Adaptive update protocol (one-way, no replies).  A writer arriving at a
+  // barrier pushes the epoch's diffs for its update-promoted pages to their
+  // stable readers — all pages for one reader in one message — and the
+  // reader's barrier departure applies them, skipping the post-barrier fault
+  // and the kDiffRequest/kDiffReply round trip.  A reader that stopped
+  // touching a pushed page denies the writers, demoting the page back to
+  // invalidate mode.
+  kUpdatePush = 24,  // writer -> stable reader: pages + interval seqs + diffs
+  kUpdateDeny = 25,  // reader -> writer: pages whose pushes went untouched
+
   kNumMsgTypes
 };
 

@@ -130,6 +130,34 @@ class Node {
   // before merging its delta (service thread only).
   void mgr_gc_to(const VectorTime& floor);
 
+  // ---------- adaptive update protocol (compute thread, inside barrier()) ----------
+  // Reader side, at barrier entry: consume the pages pushed last epoch —
+  // clear touched bits, and send kUpdateDeny for pushes that went untouched
+  // a whole epoch (demotion).
+  void update_scan_demote();
+  // Writer side, before the barrier arrival is sent: push the epoch's diffs
+  // for update-promoted pages to their stable readers, one batched
+  // kUpdatePush per reader, tagged with this barrier's index.  Sent before
+  // kBarrierArrive, so mailbox FIFO guarantees every reader's service
+  // thread parks the chunks before its barrier departure can be delivered.
+  void update_push_promoted(std::uint64_t barrier_index);
+  // Reader side, after the departure's records are merged: apply pages whose
+  // wanted intervals the pushed chunks fully cover, validating (or arming)
+  // them so the post-barrier fault never happens.  Consumes only pushes
+  // tagged with this barrier's index — a faster writer may already have
+  // departed and pushed for the *next* barrier, and those pushes must wait
+  // for the records they describe.
+  void update_validate_pushed(std::uint64_t barrier_index);
+  // Writer side, after departure: fold the finished epoch's observed readers
+  // into each page's copyset and promote pages stable for
+  // update_promote_epochs consecutive epochs.  `epoch` is the 0-based index
+  // of the epoch that just ended (requests are tagged with it, making the
+  // fold deterministic under service-thread timing).
+  void update_copyset_fold(std::uint64_t epoch);
+  // One kUpdateDeny per writer naming the pages whose pushes this reader
+  // wants stopped (demotion scan + budget-rejected pushes).
+  void send_update_denies(const std::map<std::uint32_t, std::vector<PageIndex>>& deny);
+
   // ---------- messaging ----------
   // Batched diff fetch, shared by the fault path (and its prefetch window)
   // and the GC validation pass (the kDiffRequest wire layout lives in
@@ -145,7 +173,8 @@ class Node {
     std::vector<std::uint32_t> seqs;
   };
   std::map<DiffKey, std::vector<DiffChunkView>> fetch_diffs(
-      const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies);
+      const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies,
+      bool for_gc = false);
 
   enum class Cache { kNodeLog, kMgrLog };
   // Delta of interval records the peer's node/manager log is missing,
@@ -164,6 +193,8 @@ class Node {
   void service_main();
   void handle_message(sim::Message&& m);
   void on_diff_request(sim::Message&& m);
+  void on_update_push(sim::Message&& m);  // park pushed diffs in the cache
+  void on_update_deny(sim::Message&& m);  // demote pages in the copyset
   void on_lock_acquire(sim::Message&& m);   // manager duty
   void on_lock_forward(sim::Message&& m);   // holder duty
   void on_barrier_arrive(sim::Message&& m); // manager duty (node 0)
@@ -195,8 +226,62 @@ class Node {
   std::vector<PageIndex> dirty_pages_;  // open interval's writes (compute only)
 
   // ---- diff store: (page, own interval seq) -> diff chunks ----
+  // The key packing is load-bearing across every producer and consumer of
+  // the store (materialize, serve, GC reclaim, update push): one definition.
+  static std::uint64_t diff_store_key(PageIndex page, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(page) << 32) | seq;
+  }
   std::mutex store_mu_;
   std::unordered_map<std::uint64_t, std::vector<DiffBytes>> diff_store_;
+
+  // ---- adaptive update protocol ----
+  // Writer-side copyset per page (copyset_mu_): which nodes read the page
+  // this epoch, how long the set has been stable, and whether the page is
+  // promoted to update mode.  Readers are recorded by the service thread
+  // (on_diff_request / on_update_deny); the fold and the push pass run on
+  // the compute thread at barriers.  Requests are tagged with the
+  // requester's epoch and land in the matching parity bucket: a request
+  // from the *next* epoch racing the fold can never contaminate the epoch
+  // being folded.
+  struct PageCopyset {
+    std::uint64_t epoch_readers[2] = {0, 0};  // bitmask by epoch parity
+    std::uint64_t stable_set = 0;
+    std::uint32_t stable_epochs = 0;
+    // Demotions seen so far: each one doubles the stability streak required
+    // to re-promote (capped), so a page whose sharing only looks stable —
+    // pipeline-skewed consumers, migrating molecules — stops burning pushes
+    // on promotion churn while a genuinely stable page is promoted as fast
+    // as ever.
+    std::uint32_t denials = 0;
+    bool promoted = false;
+  };
+  std::mutex copyset_mu_;
+  std::unordered_map<PageIndex, PageCopyset> copyset_;
+  // Own intervals closed since the last barrier, by dirty page (compute
+  // thread only): the candidate set of the barrier push pass.  Cleared at
+  // every barrier, and at fork/join boundaries (barrier-free programs never
+  // push, so the list must not grow with them).
+  std::unordered_map<PageIndex, std::vector<std::uint32_t>> epoch_dirty_;
+  // Pushes parked but not yet applied (push_mu_): appended by on_update_push
+  // (service thread), drained by the validate pass of the matching barrier,
+  // which is also what inserts the chunks into the page diff caches — the
+  // cache stays compute-thread-only, preserving the fault path's partition
+  // invariant.  The barrier tag is what keeps the hand-off deterministic:
+  // the service thread can run a full barrier ahead of its own compute
+  // thread, so a push for barrier k+1 may be parked before the compute
+  // thread has even woken from barrier k.
+  struct PendingPush {
+    std::uint64_t barrier_index = 0;
+    PageIndex page = 0;
+    std::uint32_t writer = 0;
+    // Chunks per pushed interval seq, held here until the validate pass.
+    std::vector<std::pair<std::uint32_t, std::vector<DiffBytes>>> seq_chunks;
+  };
+  std::mutex push_mu_;
+  std::vector<PendingPush> pending_pushes_;
+  // Pages left armed or partially covered by the last validate pass, for
+  // the next barrier's demotion scan (compute thread only).
+  std::vector<PageIndex> pushed_pages_;
 
   // ---- barrier-GC scan index (gc_scan_mu_) ----
   // Pages that may hold unapplied notices: appended by merge_and_invalidate,
@@ -222,6 +307,14 @@ class Node {
   // pages against it, so no fetch for them can still be in flight.
   // Compute-thread only.
   std::uint32_t gc_drop_seq_ = 0;
+  // The bound actually safe for destroying diff *sources* (store entries,
+  // pending twins): gc_drop_seq_ as of the previous barrier.  gc_drop_seq_
+  // itself is the floor just announced, whose validation fetches from peers
+  // may still be in flight; only after the next barrier departs is every
+  // such fetch guaranteed served.  A twin dropped against the fresh floor
+  // loses the only source a concurrent fetch still wants.  Compute-thread
+  // only.
+  std::uint32_t gc_reclaimed_seq_ = 0;
 
   // ---- lock client state (lock_client_mu_) ----
   struct PendingGrant {

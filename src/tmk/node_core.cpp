@@ -10,12 +10,6 @@
 
 namespace now::tmk {
 
-namespace {
-std::uint64_t diff_key(PageIndex page, std::uint32_t seq) {
-  return (static_cast<std::uint64_t>(page) << 32) | seq;
-}
-}  // namespace
-
 Node::Node(DsmRuntime& rt, std::uint32_t id)
     : rt_(rt),
       id_(id),
@@ -72,6 +66,10 @@ void Node::close_interval() {
     log_.append_own(std::move(rec));
   }
 
+  // The barrier push pass wants this epoch's intervals by dirty page.
+  if (rt_.config().update_enabled())
+    for (PageIndex page : dirty_pages_) epoch_dirty_[page].push_back(rec_seq);
+
   // Write-protect the interval's dirty pages so later writes fault and
   // materialize this interval's diff before starting a new twin.
   for (PageIndex page : dirty_pages_) {
@@ -106,6 +104,9 @@ void Node::merge_and_invalidate(const std::vector<IntervalRecordPtr>& recs) {
       std::lock_guard<std::mutex> lock(e.mu);
       e.unapplied.push_back({rec.node, rec.seq, rec.lamport});
       if (e.state != PageState::kInvalid) invalidate_page(page, e);
+      // An armed page is already kInvalid; a fresh notice still stales its
+      // applied-and-current contents.
+      e.push_armed = false;
     }
   }
   // Seed the barrier-GC scan with the pages that just gained notices.
@@ -126,6 +127,7 @@ void Node::invalidate_page(PageIndex page, PageEntry& e) {
   materialize_twin(page, e);  // no-op without a twin
   rt_.arena().protect_none(id_, page);
   e.state = PageState::kInvalid;
+  e.push_armed = false;  // armed contents are no longer current
   stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -148,7 +150,7 @@ void Node::materialize_twin(PageIndex page, PageEntry& e) {
   stats_.diff_bytes_created.fetch_add(diff.size(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(store_mu_);
-    diff_store_[diff_key(page, e.twin.seq)].push_back(std::move(diff));
+    diff_store_[diff_store_key(page, e.twin.seq)].push_back(std::move(diff));
   }
   e.twin_valid = false;
   e.twin.data.reset();
@@ -184,7 +186,8 @@ Node::MetaFootprint Node::meta_footprint() {
 // ---------------------------------------------------------------------------
 
 std::map<Node::DiffKey, std::vector<Node::DiffChunkView>> Node::fetch_diffs(
-    const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies) {
+    const std::vector<DiffWant>& wants, std::vector<sim::Message>& replies,
+    bool for_gc) {
   // One kDiffRequest per *writer*, carrying every page wanted from it:
   // a fault and its prefetch window share one round trip, and the GC
   // validation pass batches a whole barrier's worth of pages per writer.
@@ -193,6 +196,15 @@ std::map<Node::DiffKey, std::vector<Node::DiffChunkView>> Node::fetch_diffs(
     NOW_CHECK_NE(want.writer, id_) << "unapplied notice for our own interval";
     by_writer[want.writer].push_back(&want);
   }
+
+  // Copyset tag: the requester's 0-based epoch (barriers completed).  The
+  // writer folds an epoch's readers only after its own departure from the
+  // barrier that ended it, by which point every fault-path request of that
+  // epoch has been served (the requester could not have arrived otherwise).
+  // GC-validation fetches are flagged instead of recorded: fetching an old
+  // diff at a barrier is evidence the reader did NOT touch the page.
+  const std::uint32_t epoch_tag = static_cast<std::uint32_t>(
+      stats_.barriers.load(std::memory_order_relaxed));
 
   // All requests go out before any wait (TreadMarks pipelines these to hide
   // latency).
@@ -205,6 +217,8 @@ std::map<Node::DiffKey, std::vector<Node::DiffChunkView>> Node::fetch_diffs(
   calls.reserve(by_writer.size());
   for (const auto& [writer, writer_wants] : by_writer) {
     ByteWriter w;
+    w.u32(epoch_tag);
+    w.u8(for_gc ? 1 : 0);
     w.u32(static_cast<std::uint32_t>(writer_wants.size()));
     std::vector<PageIndex> pages;
     pages.reserve(writer_wants.size());

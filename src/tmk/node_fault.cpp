@@ -45,11 +45,20 @@ void Node::handle_fault(void* addr) {
   switch (e.state) {
     case PageState::kInvalid: {
       stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
+      e.push_touched = true;  // the reader still uses this data (update probe)
       if (e.unapplied.empty()) {
-        // First touch of a never-written page: the zero-filled local copy is
-        // the correct initial contents — no communication, as in TreadMarks.
-        if (!e.ever_valid)
+        if (e.push_armed) {
+          // Armed update push: the contents are already current, the fault
+          // only remaps the page — the probe that proves the reader still
+          // consumes the pushed data.  No messages.
+          e.push_armed = false;
+          stats_.update_push_hits.fetch_add(1, std::memory_order_relaxed);
+        } else if (!e.ever_valid) {
+          // First touch of a never-written page: the zero-filled local copy
+          // is the correct initial contents — no communication, as in
+          // TreadMarks.
           stats_.cold_zero_fills.fetch_add(1, std::memory_order_relaxed);
+        }
         rt_.arena().protect_read(id_, page);
         e.state = PageState::kReadOnly;
         e.ever_valid = true;
@@ -63,12 +72,16 @@ void Node::handle_fault(void* addr) {
     case PageState::kReadOnly: {
       // Reads cannot fault on PROT_READ, so this is a write upgrade.
       stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
+      e.push_touched = true;  // writes count as touches for the update probe
       if (e.twin_valid && e.twin.seq <= own_seq_) {
-        if (e.twin.seq <= gc_drop_seq_) {
+        if (e.twin.seq <= gc_reclaimed_seq_) {
           // The interval's diffs were already reclaimed everywhere, so no
           // diff from this twin can ever be wanted (it can only still be
           // pending when no peer fetched it, e.g. single-node runs): drop
-          // it instead of materializing a dead diff.
+          // it instead of materializing a dead diff.  The bound is the
+          // *reclaimed* prefix, one barrier behind the announced floor —
+          // a peer's validation fetch against the fresh floor may still be
+          // in flight, and this twin may be the only source of its diff.
           e.twin_valid = false;
           e.twin.data.reset();
         } else {
@@ -238,6 +251,10 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
     for (const auto& n : want) {
       auto it = got.find({page, n.writer, n.seq});
       if (it != got.end()) {
+        // An interval fetched here was absent from the cache at partition
+        // time and still is: only this compute thread inserts (an update
+        // push racing this fetch waits in the pending queue until the
+        // barrier's validate pass), so there is no stale entry to release.
         for (const DiffChunkView& d : it->second) {
           patched += diff_apply(mem, kPageSize, d.first, d.second);
           ++applied;

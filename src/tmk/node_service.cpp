@@ -12,12 +12,6 @@
 
 namespace now::tmk {
 
-namespace {
-std::uint64_t diff_key(PageIndex page, std::uint32_t seq) {
-  return (static_cast<std::uint64_t>(page) << 32) | seq;
-}
-}  // namespace
-
 void Node::service_main() {
   while (auto m = rt_.net().recv(id_)) {
     handle_message(std::move(*m));
@@ -77,6 +71,8 @@ void Node::handle_message(sim::Message&& m) {
 
   switch (m.type) {
     case kDiffRequest: on_diff_request(std::move(m)); return;
+    case kUpdatePush: on_update_push(std::move(m)); return;
+    case kUpdateDeny: on_update_deny(std::move(m)); return;
     case kLockAcquire: on_lock_acquire(std::move(m)); return;
     case kLockForward: on_lock_forward(std::move(m)); return;
     case kBarrierArrive: on_barrier_arrive(std::move(m)); return;
@@ -98,6 +94,8 @@ void Node::on_diff_request(sim::Message&& m) {
   // prefetch window and (at barriers) every page the requester's GC
   // validation pass wants from this writer.
   ByteReader r(m.payload);
+  const std::uint32_t epoch_tag = r.u32();
+  const bool for_gc = r.u8() != 0;
   const std::uint32_t npages = r.u32();
   std::vector<std::pair<PageIndex, std::vector<std::uint32_t>>> pages;
   pages.reserve(npages);
@@ -107,6 +105,19 @@ void Node::on_diff_request(sim::Message&& m) {
     std::vector<std::uint32_t> seqs(n);
     for (auto& s : seqs) s = r.u32();
     pages.emplace_back(page, std::move(seqs));
+  }
+
+  // Copyset tracking: every fault-path request names the requester a reader
+  // of each page it wants (the prefetch window included — an unconsumed
+  // speculative page that gets promoted is demoted again by the reader's
+  // armed probe).  GC-validation fetches are explicitly *not* readers: they
+  // fetch exactly the diffs the reader never touched.
+  if (!for_gc && rt_.config().update_enabled()) {
+    const std::uint64_t bit = std::uint64_t{1} << m.src;
+    std::lock_guard<std::mutex> lock(copyset_mu_);
+    for (const auto& [page, seqs] : pages) {
+      copyset_[page].epoch_readers[epoch_tag & 1] |= bit;
+    }
   }
 
   // Materialize lazily if an interval's twin is still pending.  The page is
@@ -127,7 +138,7 @@ void Node::on_diff_request(sim::Message&& m) {
   for (const auto& [page, seqs] : pages) {
     reply_size += 8;  // page + interval count
     for (std::uint32_t seq : seqs) {
-      auto it = diff_store_.find(diff_key(page, seq));
+      auto it = diff_store_.find(diff_store_key(page, seq));
       NOW_CHECK(it != diff_store_.end())
           << "node " << id_ << " asked for missing diff: page " << page
           << " interval " << seq;
@@ -157,6 +168,68 @@ void Node::on_diff_request(sim::Message&& m) {
   reply.seq = m.seq;
   reply.payload = w.take();
   send_service(std::move(reply), m.arrive_ts_ns);
+}
+
+void Node::on_update_push(sim::Message&& m) {
+  // Barrier-time update push from a writer: queue the pushed intervals for
+  // the compute thread's validate pass.  Nothing touches the page tables or
+  // diff caches here — only the compute thread mutates those, which is what
+  // keeps the fault path's cached/needed partition valid while its lock is
+  // dropped, and what keeps a push racing a pull idempotent.
+  //
+  // The push carries the writer's barrier index: this service thread can
+  // run a full barrier ahead of its own compute thread (the writer departs,
+  // sprints through its phase, and pushes for barrier k+1 while our compute
+  // thread has not yet woken from barrier k), so parked pushes are queued
+  // by barrier and the validate pass drains only its own barrier's.
+  ByteReader r(m.payload);
+  const std::uint64_t barrier_index = r.u32();
+  const std::uint32_t npages = r.u32();
+  std::vector<PendingPush> pending;
+  pending.reserve(npages);
+  for (std::uint32_t p = 0; p < npages; ++p) {
+    PendingPush pp;
+    pp.barrier_index = barrier_index;
+    pp.page = r.u32();
+    pp.writer = m.src;
+    const std::uint32_t nseqs = r.u32();
+    pp.seq_chunks.reserve(nseqs);
+    for (std::uint32_t i = 0; i < nseqs; ++i) {
+      const std::uint32_t seq = r.u32();
+      const std::uint32_t nchunks = r.u32();
+      std::vector<DiffBytes> chunks;
+      chunks.reserve(nchunks);
+      for (std::uint32_t k = 0; k < nchunks; ++k) {
+        const auto [ptr, n] = r.bytes_view();
+        chunks.emplace_back(ptr, ptr + n);
+      }
+      pp.seq_chunks.emplace_back(seq, std::move(chunks));
+    }
+    pending.push_back(std::move(pp));
+  }
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    for (PendingPush& pp : pending) pending_pushes_.push_back(std::move(pp));
+  }
+}
+
+void Node::on_update_deny(sim::Message&& m) {
+  // A reader stopped touching pages we push: demote them back to invalidate
+  // mode.  Re-promotion needs update_promote_epochs fresh stable epochs.
+  ByteReader r(m.payload);
+  const std::uint32_t npages = r.u32();
+  std::lock_guard<std::mutex> lock(copyset_mu_);
+  for (std::uint32_t p = 0; p < npages; ++p) {
+    const PageIndex page = r.u32();
+    PageCopyset& cs = copyset_[page];
+    if (cs.promoted) {
+      stats_.update_demotions.fetch_add(1, std::memory_order_relaxed);
+      ++cs.denials;  // re-promotion backoff; see update_copyset_fold
+    }
+    cs.promoted = false;
+    cs.stable_set = 0;
+    cs.stable_epochs = 0;
+  }
 }
 
 void Node::on_flush_notice(sim::Message&& m) {

@@ -28,8 +28,22 @@ std::uint64_t cond_key(std::uint32_t lock_id, std::uint32_t cond_id) {
 
 void Node::barrier() {
   sync_cpu();
-  stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  // 0-based index of the epoch this barrier ends; kDiffRequests sent after
+  // the barrier returns carry epoch_done + 1 and are folded one barrier
+  // later (see update_copyset_fold).
+  const std::uint64_t epoch_done =
+      stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  const bool update_on = rt_.config().update_enabled();
+
+  // Judge last epoch's pushes before anything else: armed pages still
+  // untouched demote at their writers (the denies race the writers' push
+  // passes at worst into one wasted push).
+  if (update_on) update_scan_demote();
   close_interval();
+  // Push this epoch's diffs for promoted pages *before* the arrival is
+  // sent: mailbox FIFO then guarantees every push is parked at its reader
+  // before the manager's departure releases that reader.
+  if (update_on) update_push_promoted(epoch_done);
 
   const std::uint32_t mgr = rt_.barrier_manager();
   auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
@@ -46,7 +60,11 @@ void Node::barrier() {
   ByteReader r(reply.payload);
   const VectorTime floor = KnowledgeLog::deserialize_vt(r);
   merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+  // With the departure's write notices merged, pages whose pushed chunks
+  // fully cover their wanted intervals come out of the barrier valid.
+  if (update_on) update_validate_pushed(epoch_done);
   if (rt_.config().gc_at_barriers) gc_at_barrier(floor);
+  if (update_on) update_copyset_fold(epoch_done);
 }
 
 void Node::on_barrier_arrive(sim::Message&& m) {
@@ -112,6 +130,7 @@ void Node::gc_at_barrier(const VectorTime& floor) {
   // only reclaims after that next barrier departs.)
   const std::uint32_t prev_drop = gc_drop_seq_;
   gc_drop_seq_ = floor[id_];
+  gc_reclaimed_seq_ = prev_drop;
 
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
@@ -210,7 +229,7 @@ void Node::gc_validate_pages(const VectorTime& floor) {
     for (const auto& [writer, seqs] : w.fetch)
       wants.push_back({w.page, writer, seqs});
   std::vector<sim::Message> replies;
-  auto got = fetch_diffs(wants, replies);
+  auto got = fetch_diffs(wants, replies, /*for_gc=*/true);
 
   // Stash or apply.  With the diff cache enabled the page stays invalid and
   // lazy — the fetched chunks are pinned locally and the next fault applies
@@ -281,6 +300,330 @@ void Node::gc_validate_pages(const VectorTime& floor) {
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive update protocol (hybrid invalidate/update, at every barrier)
+// ---------------------------------------------------------------------------
+
+void Node::update_scan_demote() {
+  // pushed_pages_ is compute-thread-only: seeded by the previous barrier's
+  // validate pass with the pages it left armed or partially covered.
+  std::vector<PageIndex> scan;
+  scan.swap(pushed_pages_);
+  if (scan.empty()) return;
+  std::sort(scan.begin(), scan.end());
+  scan.erase(std::unique(scan.begin(), scan.end()), scan.end());
+
+  std::map<std::uint32_t, std::vector<PageIndex>> deny;  // writer -> pages
+  for (PageIndex page : scan) {
+    PageEntry& e = pages_[page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (e.pushed_by == 0) continue;
+    if (e.push_touched) {
+      // The probe fired (or a fault on the page proved it live): the push
+      // stream earns its keep.  Fresh observation window.
+      e.push_touched = false;
+      e.pushed_by = 0;
+      continue;
+    }
+    // Pushed a whole epoch ago and never touched: the reader moved on.
+    // Demote at every writer that pushed.  The armed contents stay correct,
+    // so only the bookkeeping is dropped — a later fault on the page
+    // revalidates locally through the empty-unapplied path.
+    for (std::uint32_t wtr = 0; wtr < num_nodes_; ++wtr)
+      if (e.pushed_by & (std::uint64_t{1} << wtr)) deny[wtr].push_back(page);
+    e.pushed_by = 0;
+    e.push_armed = false;
+    e.pushes_since_probe = 0;
+  }
+  send_update_denies(deny);
+}
+
+void Node::send_update_denies(
+    const std::map<std::uint32_t, std::vector<PageIndex>>& deny) {
+  for (const auto& [wtr, pages] : deny) {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(pages.size()));
+    for (PageIndex page : pages) w.u32(page);
+    sim::Message m;
+    m.type = kUpdateDeny;
+    m.dst = wtr;
+    m.payload = w.take();
+    send_compute(std::move(m));
+  }
+}
+
+void Node::update_push_promoted(std::uint64_t barrier_index) {
+  if (epoch_dirty_.empty()) return;
+
+  // The epoch's dirty pages that are promoted, with their stable readers.
+  struct Item {
+    PageIndex page = 0;
+    const std::vector<std::uint32_t>* seqs = nullptr;
+    std::uint64_t readers = 0;
+  };
+  std::vector<Item> items;
+  {
+    std::lock_guard<std::mutex> lock(copyset_mu_);
+    for (auto& [page, seqs] : epoch_dirty_) {
+      auto it = copyset_.find(page);
+      if (it == copyset_.end() || !it->second.promoted) continue;
+      const std::uint64_t readers =
+          it->second.stable_set & ~(std::uint64_t{1} << id_);
+      if (readers == 0) continue;
+      items.push_back({page, &seqs, readers});
+    }
+  }
+  if (items.empty()) {
+    epoch_dirty_.clear();
+    return;
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.page < b.page; });
+
+  // Materialize any twin still pending for a pushed interval (the page is at
+  // most PROT_READ once its interval closed, so contents are stable; same
+  // rule as on_diff_request).
+  for (const Item& item : items) {
+    PageEntry& e = pages_[item.page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    for (std::uint32_t seq : *item.seqs)
+      if (e.twin_valid && e.twin.seq == seq) materialize_twin(item.page, e);
+  }
+
+  // One batched kUpdatePush per reader, serialized under a single diff-store
+  // hold and sent after it drops.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> msgs;
+  std::uint64_t pages_pushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    for (std::uint32_t reader = 0; reader < num_nodes_; ++reader) {
+      if (reader == id_) continue;
+      const std::uint64_t bit = std::uint64_t{1} << reader;
+      std::uint32_t npages = 0;
+      for (const Item& item : items) npages += (item.readers & bit) ? 1 : 0;
+      if (npages == 0) continue;
+      ByteWriter w;
+      // Barrier tag: barrier() calls are globally aligned, so the reader's
+      // validate pass for the *same* barrier index — and only it — consumes
+      // this push (its service thread may park it a full barrier early).
+      w.u32(static_cast<std::uint32_t>(barrier_index));
+      w.u32(npages);
+      for (const Item& item : items) {
+        if (!(item.readers & bit)) continue;
+        w.u32(item.page);
+        w.u32(static_cast<std::uint32_t>(item.seqs->size()));
+        for (std::uint32_t seq : *item.seqs) {
+          // GC-floor interaction: the epoch's own intervals are always above
+          // the reclaim prefix (the floor lags the epoch by construction),
+          // so a pushed seq can never dangle into reclaimed diffs.
+          NOW_CHECK_GT(seq, gc_drop_seq_)
+              << "pushed interval below the reclaimed diff-store prefix";
+          auto it = diff_store_.find(diff_store_key(item.page, seq));
+          NOW_CHECK(it != diff_store_.end())
+              << "push wants missing diff: page " << item.page << " interval "
+              << seq;
+          w.u32(seq);
+          w.u32(static_cast<std::uint32_t>(it->second.size()));
+          for (const DiffBytes& d : it->second) w.bytes(d.data(), d.size());
+        }
+      }
+      msgs.emplace_back(reader, w.take());
+      pages_pushed += npages;
+    }
+  }
+  for (auto& [reader, payload] : msgs) {
+    sim::Message m;
+    m.type = kUpdatePush;
+    m.dst = reader;
+    m.payload = std::move(payload);
+    send_compute(std::move(m));
+  }
+  stats_.update_pushes_sent.fetch_add(msgs.size(), std::memory_order_relaxed);
+  stats_.update_pages_pushed.fetch_add(pages_pushed, std::memory_order_relaxed);
+  epoch_dirty_.clear();
+}
+
+void Node::update_validate_pushed(std::uint64_t barrier_index) {
+  // Drain exactly this barrier's pushes from the pending queue.  A push
+  // tagged k is guaranteed parked before this pass runs at barrier k
+  // (mailbox FIFO: the writer pushed before it could arrive, so before the
+  // departure was sent); a push tagged k+1 — a faster writer already a
+  // barrier ahead — stays queued until the records it describes have been
+  // merged.
+  std::vector<PendingPush> batch;
+  {
+    std::lock_guard<std::mutex> lock(push_mu_);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pending_pushes_.size(); ++i) {
+      PendingPush& pp = pending_pushes_[i];
+      if (pp.barrier_index != barrier_index) {
+        NOW_CHECK_GT(pp.barrier_index, barrier_index)
+            << "update push missed its barrier";
+        // Compact in place, guarding the self-move (v[i] = move(v[i])
+        // empties the chunk vectors).
+        if (keep != i) pending_pushes_[keep] = std::move(pp);
+        ++keep;
+        continue;
+      }
+      batch.push_back(std::move(pp));
+    }
+    pending_pushes_.resize(keep);
+  }
+  if (batch.empty()) return;
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const PendingPush& a, const PendingPush& b) {
+                     return a.page < b.page;
+                   });
+
+  const auto& cfg = rt_.config();
+  const std::size_t cache_budget = cfg.diff_cache_bytes_per_page;
+  const std::uint32_t reprobe = std::max<std::uint32_t>(1, cfg.update_reprobe_epochs);
+  std::vector<PageIndex> relist;
+  std::map<std::uint32_t, std::vector<PageIndex>> deny;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PageIndex page = batch[i].page;
+    PageEntry& e = pages_[page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    // Park this page's pushed chunks in its diff cache (budgeted, droppable,
+    // keyed (writer, seq) exactly like a fetched reply).  This runs on the
+    // compute thread only, which is what keeps a push racing a pull
+    // idempotent: whichever applies first erases the entry, the other's
+    // copy is redundant bytes, never a second application.
+    std::uint64_t writers = 0;
+    bool any_kept = false;
+    for (; i < batch.size() && batch[i].page == page; ++i) {
+      PendingPush& pp = batch[i];
+      writers |= std::uint64_t{1} << pp.writer;
+      for (auto& [seq, chunks] : pp.seq_chunks)
+        any_kept |=
+            e.diff_cache.insert(pp.writer, seq, std::move(chunks), cache_budget,
+                                /*prefetched=*/false, /*pushed=*/true);
+    }
+    --i;  // the for-loop's ++i re-advances past this page's run
+    if (!any_kept) {
+      // The budget rejected every pushed chunk (oversized epoch diffs, or a
+      // page whose GC pins already fill it): these pushes can never land, so
+      // without a demotion the writer would re-ship the same bytes every
+      // epoch forever — the re-fetching fault keeps the copyset stable and
+      // no armed probe ever fires.  Deny now; re-promotion backs off.
+      for (std::uint32_t wtr = 0; wtr < num_nodes_; ++wtr)
+        if (writers & (std::uint64_t{1} << wtr)) deny[wtr].push_back(page);
+      continue;
+    }
+    e.pushed_by |= writers;
+    if (e.state != PageState::kInvalid || e.unapplied.empty()) {
+      // A racing pull-path fetch (lock-chain knowledge mid-epoch) already
+      // applied everything; the push was redundant bytes.  Forget it so the
+      // demotion scan doesn't misjudge the page.
+      e.pushed_by = 0;
+      continue;
+    }
+    // Eager apply only when the cached chunks cover *every* wanted interval
+    // — applying a suffix out of lamport order could resurrect overwritten
+    // bytes.  Partially covered pages stay lazy: the fault serves the cached
+    // part locally and fetches the rest.
+    bool covered = true;
+    for (const UnappliedNotice& n : e.unapplied) {
+      if (e.diff_cache.lookup(n.writer, n.seq) == nullptr) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) {
+      relist.push_back(page);  // the demotion scan still judges it
+      continue;
+    }
+
+    std::stable_sort(e.unapplied.begin(), e.unapplied.end(), applies_before);
+    rt_.arena().protect_rw(id_, page);
+    std::uint8_t* mem = rt_.arena().page_ptr(id_, page);
+    std::size_t patched = 0;
+    std::uint64_t applied = 0;
+    for (const UnappliedNotice& n : e.unapplied) {
+      const auto* cached = e.diff_cache.find(n.writer, n.seq);
+      for (const DiffBytes& d : *cached) {
+        patched += diff_apply(mem, kPageSize, d);
+        ++applied;
+      }
+      e.diff_cache.erase(n.writer, n.seq);
+    }
+    e.unapplied.clear();
+    e.ever_valid = true;
+    stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
+    clock_.advance_us(cfg.diff_apply_per_kb_us *
+                      (static_cast<double>(patched) / 1024.0));
+
+    // Liveness probe cadence: every reprobe-th push is applied *armed* —
+    // contents current but unmapped, so the next access faults once,
+    // locally, and proves the reader still consumes the stream.  The pushes
+    // in between (including the first: promotion already rests on observed
+    // faults in consecutive epochs) validate outright and the post-barrier
+    // fault disappears.  A reader that stops consuming burns at most
+    // reprobe-1 validated pushes before a probe goes untouched and the
+    // demotion lands.
+    const bool probe = (++e.pushes_since_probe % reprobe) == 0;
+    if (probe) {
+      rt_.arena().protect_none(id_, page);
+      e.push_armed = true;
+      e.push_touched = false;
+      relist.push_back(page);  // the next barrier's scan judges the probe
+    } else {
+      rt_.arena().protect_read(id_, page);
+      e.state = PageState::kReadOnly;
+      e.pushed_by = 0;
+      stats_.update_push_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!relist.empty())
+    pushed_pages_.insert(pushed_pages_.end(), relist.begin(), relist.end());
+  send_update_denies(deny);
+}
+
+void Node::update_copyset_fold(std::uint64_t epoch) {
+  const std::uint32_t promote = rt_.config().update_promote_epochs;
+  std::lock_guard<std::mutex> lock(copyset_mu_);
+  for (auto it = copyset_.begin(); it != copyset_.end();) {
+    PageCopyset& cs = it->second;
+    const std::uint64_t cur = cs.epoch_readers[epoch & 1];
+    cs.epoch_readers[epoch & 1] = 0;
+    if (cs.promoted) {
+      // A request while promoted is a newcomer (or a demoted reader faulting
+      // its way back): fold it into the push set — the armed probe demotes
+      // it again if the interest was transient.
+      cs.stable_set |= cur;
+      ++it;
+      continue;
+    }
+    if (cur == 0) {
+      // No requests this epoch is no evidence either way: the writer may
+      // not have written (nothing to fetch), or reads alternate with
+      // compute phases.  Keep the streak — a *changed* reader set breaks
+      // it below, and a stale promotion is the armed probe's job to kill.
+      if (cs.stable_set == 0 && cs.epoch_readers[(epoch + 1) & 1] == 0) {
+        // Never-stable and quiescent: drop the entry so the copyset map
+        // tracks live sharing, not history.
+        it = copyset_.erase(it);
+      } else {
+        ++it;
+      }
+      continue;
+    }
+    if (cur == cs.stable_set) {
+      ++cs.stable_epochs;
+    } else {
+      cs.stable_set = cur;
+      cs.stable_epochs = 1;
+    }
+    // Each past demotion doubles the streak required to re-promote (capped):
+    // sharing that only *looks* stable stops churning promote/demote cycles,
+    // while a first-time-stable page promotes at the configured threshold.
+    const std::uint32_t threshold =
+        promote << std::min<std::uint32_t>(cs.denials, 4);
+    if (cs.stable_epochs >= threshold) cs.promoted = true;
+    ++it;
   }
 }
 
@@ -709,6 +1052,9 @@ void Node::flush() {
 void Node::fork_slaves(ForkFn fn, const void* arg, std::size_t arg_size) {
   sync_cpu();
   close_interval();
+  // Fork is a barrier-free release point: nothing is pushed here, so the
+  // push pass's candidate list must not accumulate across regions.
+  epoch_dirty_.clear();
   for (std::uint32_t slave = 0; slave < num_nodes_; ++slave) {
     if (slave == id_) continue;
     auto delta = take_delta_for(slave, Cache::kNodeLog, nullptr);
@@ -757,6 +1103,7 @@ bool Node::slave_serve_one(Tmk& tmk) {
 
   sync_cpu();
   close_interval();
+  epoch_dirty_.clear();  // join: barrier-free release point, see fork_slaves
   auto delta = take_delta_for(rt_.master_node(), Cache::kNodeLog, nullptr);
   ByteWriter w;
   KnowledgeLog::serialize_records(w, delta);

@@ -63,13 +63,21 @@ inline bool applies_before(const UnappliedNotice& a, const UnappliedNotice& b) {
 //    are droppable — their writers still hold the diff, so the real fault
 //    can always refetch what eviction lost.  When a barrier-GC floor later
 //    covers a prefetched entry, the validation pass promotes it to a pin
-//    in place rather than refetching.
+//    in place rather than refetching;
+//  - the adaptive update protocol (budgeted FIFO insert, pushed provenance):
+//    a writer's barrier-time kUpdatePush parks the epoch's diffs here and
+//    the reader's barrier departure applies any page whose wanted intervals
+//    are fully covered, skipping the fault.  Keying by (writer, seq) is what
+//    makes a push racing a pull-path fetch idempotent: whichever applies
+//    first erases the entry, the other's copy is redundant bytes, never a
+//    second application.
 class PageDiffCache {
  public:
   struct Entry {
     std::vector<DiffBytes> chunks;
     bool pinned = false;      // exempt from FIFO eviction (barrier-GC)
     bool prefetched = false;  // arrived via multi-page prefetch (stats only)
+    bool pushed = false;      // arrived via kUpdatePush (stats only)
   };
 
   // Entry for (writer, seq), or nullptr if not cached.  The pointer stays
@@ -90,7 +98,7 @@ class PageDiffCache {
   // if the entry resides in the cache afterwards.
   bool insert(std::uint32_t writer, std::uint32_t seq,
               std::vector<DiffBytes> chunks, std::size_t budget_bytes,
-              bool prefetched = false) {
+              bool prefetched = false, bool pushed = false) {
     const std::uint64_t k = key(writer, seq);
     if (map_.count(k)) return true;
     std::size_t sz = 0;
@@ -110,7 +118,7 @@ class PageDiffCache {
     if (bytes_ + sz > budget_bytes) return false;
     bytes_ += sz;
     order_.push_back(k);
-    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/false, prefetched});
+    map_.emplace(k, Entry{std::move(chunks), /*pinned=*/false, prefetched, pushed});
     return true;
   }
 
@@ -129,7 +137,7 @@ class PageDiffCache {
     pinned_bytes_ += sz;
     // Deliberately not queued in order_, so the eviction loop never sees it.
     map_.emplace(key(writer, seq), Entry{std::move(chunks), /*pinned=*/true,
-                                         /*prefetched=*/false});
+                                         /*prefetched=*/false, /*pushed=*/false});
   }
 
   // Promotes an already-held entry to pinned (no-op on pins).  The GC
@@ -193,6 +201,26 @@ struct PageEntry {
 
   // Diff chunks this node has already fetched for the page (guarded by mu).
   PageDiffCache diff_cache;
+
+  // ---- adaptive update protocol, reader side (guarded by mu) ----
+  // Armed: every wanted diff has been applied and the contents are current,
+  // but the page is deliberately left unmapped so the next access faults
+  // once, locally — the liveness probe of the update protocol.  The probe
+  // fault sets `push_touched`; an armed page still untouched when the next
+  // barrier's demotion scan runs is evidence the reader stopped using the
+  // data, and demotes it at the writers.
+  bool push_armed = false;
+  // Any fault on the page since the last barrier's demotion scan (cheap
+  // proxy for "the reader still uses this data"; reads of a valid page are
+  // invisible, which is exactly what the armed probe exists to sample).
+  bool push_touched = false;
+  // Writers whose pushes landed since the last demotion scan (bitmask by
+  // node id; kUpdateDeny targets).
+  std::uint64_t pushed_by = 0;
+  // Pushes applied to this page since promotion; schedules the armed probes
+  // (every update_reprobe_epochs-th push — the ones in between validate
+  // outright).  Reset on demotion.
+  std::uint32_t pushes_since_probe = 0;
 };
 
 }  // namespace now::tmk

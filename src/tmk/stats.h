@@ -22,6 +22,16 @@ struct DsmStatsSnapshot {
                                              // chunks landed in the cache
   std::uint64_t prefetch_hits = 0;           // cache hits served by an entry
                                              // a prefetch put there
+  std::uint64_t update_pushes_sent = 0;   // kUpdatePush messages (one per
+                                          // reader per barrier, batched)
+  std::uint64_t update_pages_pushed = 0;  // pages carried by those messages
+  std::uint64_t update_push_hits = 0;     // pages a push made valid without
+                                          // any remote fetch: validated at
+                                          // the barrier (fault skipped) or
+                                          // armed and consumed by a local
+                                          // probe fault
+  std::uint64_t update_demotions = 0;     // pages demoted to invalidate mode
+                                          // by a reader's kUpdateDeny
   std::uint64_t diffs_created = 0;
   std::uint64_t diffs_applied = 0;
   std::uint64_t diff_bytes_created = 0;
@@ -47,6 +57,10 @@ struct DsmStatsSnapshot {
     prefetch_requests_batched += o.prefetch_requests_batched;
     prefetch_pages_filled += o.prefetch_pages_filled;
     prefetch_hits += o.prefetch_hits;
+    update_pushes_sent += o.update_pushes_sent;
+    update_pages_pushed += o.update_pages_pushed;
+    update_push_hits += o.update_push_hits;
+    update_demotions += o.update_demotions;
     diffs_created += o.diffs_created;
     diffs_applied += o.diffs_applied;
     diff_bytes_created += o.diff_bytes_created;
@@ -75,6 +89,10 @@ struct DsmStats {
   std::atomic<std::uint64_t> prefetch_requests_batched{0};
   std::atomic<std::uint64_t> prefetch_pages_filled{0};
   std::atomic<std::uint64_t> prefetch_hits{0};
+  std::atomic<std::uint64_t> update_pushes_sent{0};
+  std::atomic<std::uint64_t> update_pages_pushed{0};
+  std::atomic<std::uint64_t> update_push_hits{0};
+  std::atomic<std::uint64_t> update_demotions{0};
   std::atomic<std::uint64_t> diffs_created{0};
   std::atomic<std::uint64_t> diffs_applied{0};
   std::atomic<std::uint64_t> diff_bytes_created{0};
@@ -100,6 +118,10 @@ struct DsmStats {
     s.prefetch_requests_batched = prefetch_requests_batched.load(std::memory_order_relaxed);
     s.prefetch_pages_filled = prefetch_pages_filled.load(std::memory_order_relaxed);
     s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    s.update_pushes_sent = update_pushes_sent.load(std::memory_order_relaxed);
+    s.update_pages_pushed = update_pages_pushed.load(std::memory_order_relaxed);
+    s.update_push_hits = update_push_hits.load(std::memory_order_relaxed);
+    s.update_demotions = update_demotions.load(std::memory_order_relaxed);
     s.diffs_created = diffs_created.load(std::memory_order_relaxed);
     s.diffs_applied = diffs_applied.load(std::memory_order_relaxed);
     s.diff_bytes_created = diff_bytes_created.load(std::memory_order_relaxed);

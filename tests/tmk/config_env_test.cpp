@@ -1,0 +1,83 @@
+// detail::env_size / env_flag: the config-default override parser used by
+// every TMK_* environment knob.  Malformed values must fail loudly — a CI
+// matrix leg whose knob silently parsed as a prefix (or as 0) would
+// green-light a configuration that never actually ran.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "tmk/config.h"
+
+namespace now::tmk {
+namespace {
+
+struct ScopedEnv {
+  const char* name;
+  ScopedEnv(const char* n, const char* value) : name(n) {
+    setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { unsetenv(name); }
+};
+
+constexpr char kVar[] = "NOW_TEST_ENV_SIZE_KNOB";
+
+TEST(ConfigEnv, UnsetAndEmptyUseDefault) {
+  unsetenv(kVar);
+  EXPECT_EQ(detail::env_size(kVar, 7), 7u);
+  ScopedEnv env(kVar, "");
+  EXPECT_EQ(detail::env_size(kVar, 7), 7u);
+}
+
+TEST(ConfigEnv, ParsesPlainIntegers) {
+  {
+    ScopedEnv env(kVar, "0");
+    EXPECT_EQ(detail::env_size(kVar, 7), 0u);
+  }
+  {
+    ScopedEnv env(kVar, "16384");
+    EXPECT_EQ(detail::env_size(kVar, 7), 16384u);
+  }
+}
+
+TEST(ConfigEnv, FlagParsesZeroAndNonzero) {
+  {
+    ScopedEnv env(kVar, "0");
+    EXPECT_FALSE(detail::env_flag(kVar, true));
+  }
+  {
+    ScopedEnv env(kVar, "1");
+    EXPECT_TRUE(detail::env_flag(kVar, false));
+  }
+  unsetenv(kVar);
+  EXPECT_TRUE(detail::env_flag(kVar, true));
+  EXPECT_FALSE(detail::env_flag(kVar, false));
+}
+
+TEST(ConfigEnvDeathTest, RejectsTrailingGarbage) {
+  ScopedEnv env(kVar, "16k");
+  EXPECT_DEATH(detail::env_size(kVar, 7), "malformed NOW_TEST_ENV_SIZE_KNOB");
+}
+
+TEST(ConfigEnvDeathTest, RejectsNegativeNumbers) {
+  ScopedEnv env(kVar, "-4");
+  EXPECT_DEATH(detail::env_size(kVar, 7), "malformed NOW_TEST_ENV_SIZE_KNOB");
+}
+
+TEST(ConfigEnvDeathTest, RejectsWhitespaceAndWords) {
+  {
+    ScopedEnv env(kVar, " 4");
+    EXPECT_DEATH(detail::env_size(kVar, 7), "malformed NOW_TEST_ENV_SIZE_KNOB");
+  }
+  {
+    ScopedEnv env(kVar, "on");
+    EXPECT_DEATH(detail::env_flag(kVar, false), "malformed NOW_TEST_ENV_SIZE_KNOB");
+  }
+}
+
+TEST(ConfigEnvDeathTest, RejectsOverflow) {
+  ScopedEnv env(kVar, "99999999999999999999999999");
+  EXPECT_DEATH(detail::env_size(kVar, 7), "overflows");
+}
+
+}  // namespace
+}  // namespace now::tmk

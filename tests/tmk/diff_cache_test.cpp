@@ -125,6 +125,7 @@ DsmConfig cfg(std::uint32_t nodes, std::size_t cache_bytes,
   c.diff_cache_bytes_per_page = cache_bytes;
   c.prefetch_pages = prefetch;
   c.gc_at_barriers = false;  // GC makes the cache load-bearing; see tmk_gc_test
+  c.update_mode = false;     // so does the update protocol; see tmk_update_test
   c.time.cpu_scale = 0.0;  // measured host time out; virtual time deterministic
   return c;
 }

@@ -2,7 +2,8 @@
 // N nodes through random mixes of data-race-free reads, writes, barriers and
 // lock-protected read-modify-writes over a shared region, and the final
 // region contents are compared byte-for-byte across the full protocol config
-// matrix {prefetch 0/4/16} x {gc_at_barriers on/off} x {diff cache on/off}.
+// matrix {update on/off} x {prefetch 0/4} x {gc_at_barriers on/off} x
+// {diff cache on/off}, plus wide-prefetch (16) legs.
 // Every run is also checked against a sequentially replayed model, so "all
 // configs equally wrong" cannot slip through.  The seed is printed on
 // failure; replay a specific one with
@@ -72,6 +73,7 @@ struct FuzzConfig {
   std::size_t prefetch;
   bool gc;
   std::size_t cache_bytes;
+  bool update;
 };
 
 // Final contents of the whole shared region (data pages + counter page),
@@ -84,6 +86,7 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
   c.prefetch_pages = fc.prefetch;
   c.gc_at_barriers = fc.gc;
   c.diff_cache_bytes_per_page = fc.cache_bytes;
+  c.update_mode = fc.update;
   c.time.cpu_scale = 0.0;
 
   std::vector<std::uint64_t> final_words(kWords + kWordsPerPage, 0);
@@ -147,11 +150,19 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
   const std::uint64_t seed_base = env_size("NOW_FUZZ_SEED_BASE", 20260730);
   const std::size_t epochs = env_size("NOW_FUZZ_EPOCHS", 4);
 
+  // Full cross at prefetch {0, 4}; the wide 16-page window re-tests the
+  // prefetch batching against each GC mode (cache-off legs would be
+  // redundant: prefetch is inert without the cache), so it rides as four
+  // extra legs instead of doubling the whole matrix.
   std::vector<FuzzConfig> matrix;
-  for (std::size_t prefetch : {std::size_t{0}, std::size_t{4}, std::size_t{16}})
+  for (bool update : {false, true})
+    for (std::size_t prefetch : {std::size_t{0}, std::size_t{4}})
+      for (bool gc : {false, true})
+        for (std::size_t cache : {std::size_t{0}, std::size_t{16 * 1024}})
+          matrix.push_back({prefetch, gc, cache, update});
+  for (bool update : {false, true})
     for (bool gc : {false, true})
-      for (std::size_t cache : {std::size_t{0}, std::size_t{16 * 1024}})
-        matrix.push_back({prefetch, gc, cache});
+      matrix.push_back({16, gc, 16 * 1024, update});
 
   for (std::size_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = seed_base + s;
@@ -170,6 +181,7 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
       SCOPED_TRACE(::testing::Message()
                    << "seed=" << seed << " prefetch=" << fc.prefetch
                    << " gc=" << fc.gc << " cache=" << fc.cache_bytes
+                   << " update=" << fc.update
                    << " (replay: NOW_FUZZ_SEED_BASE=" << seed
                    << " NOW_FUZZ_SEEDS=1)");
       const auto got = run_fuzz(fc, seed, epochs);
