@@ -82,36 +82,44 @@ def main():
         if name not in baseline.get("cases", {}):
             warnings.append("case %r measured but not in the baseline; add it" % name)
 
-    # Adaptive update protocol: virtual-time (deterministic) producer-consumer
-    # push-vs-pull ratios.  Gated the same way, separate section because the
-    # metrics are flat numbers, not scalar/fast pairs.
-    upd_measured = measured.get("update_push", {})
-    for name, base_case in baseline.get("update_push", {}).items():
-        if name not in upd_measured:
-            failures.append("update_push metric %r missing from bench_micro output" % name)
-            continue
-        got = float(upd_measured[name])
-        want = float(base_case["value"])
-        tol = float(base_case.get("tolerance", default_tol))
-        lo, hi = want * (1.0 - tol), want * (1.0 + tol)
-        line = "update %-18s %6.2fx  (baseline %.2fx, allowed [%.2f, %.2f])" % (
-            name, got, want, lo, hi)
-        if got < lo:
-            failures.append("REGRESSION: " + line)
-        elif got > hi:
-            warnings.append("improved past tolerance: " + line +
-                            " — refresh the baseline (--update)")
-            print("  WARN " + line)
-        else:
-            print("  ok   " + line)
+    # Protocol push-vs-pull ratios, gated the same way (separate sections
+    # because the metrics are flat numbers, not scalar/fast pairs):
+    #  - update_push: the adaptive update protocol's producer-consumer win,
+    #    virtual-time counts that are deterministic by construction;
+    #  - lock_push: the migratory lock-grant chain's round-robin bound
+    #    update, normalized per lock handoff (handoff counts vary a little
+    #    with host scheduling, the per-handoff costs do not).
+    for section in ("update_push", "lock_push"):
+        sec_measured = measured.get(section, {})
+        for name, base_case in baseline.get(section, {}).items():
+            if name not in sec_measured:
+                failures.append("%s metric %r missing from bench_micro output"
+                                % (section, name))
+                continue
+            got = float(sec_measured[name])
+            want = float(base_case["value"])
+            tol = float(base_case.get("tolerance", default_tol))
+            lo, hi = want * (1.0 - tol), want * (1.0 + tol)
+            line = "%s %-18s %6.2fx  (baseline %.2fx, allowed [%.2f, %.2f])" % (
+                section.split("_")[0], name, got, want, lo, hi)
+            if got < lo:
+                failures.append("REGRESSION: " + line)
+            elif got > hi:
+                warnings.append("improved past tolerance: " + line +
+                                " — refresh the baseline (--update)")
+                print("  WARN " + line)
+            else:
+                print("  ok   " + line)
 
     if args.update:
         for name, base_case in baseline["cases"].items():
             if name in cases:
                 base_case["speedup"] = round(float(cases[name]["speedup"]), 2)
-        for name, base_case in baseline.get("update_push", {}).items():
-            if name in upd_measured:
-                base_case["value"] = round(float(upd_measured[name]), 2)
+        for section in ("update_push", "lock_push"):
+            sec_measured = measured.get(section, {})
+            for name, base_case in baseline.get(section, {}).items():
+                if name in sec_measured:
+                    base_case["value"] = round(float(sec_measured[name]), 2)
         baseline["page_size"] = measured.get("page_size", baseline.get("page_size"))
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2)

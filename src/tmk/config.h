@@ -68,6 +68,65 @@ struct DsmConfig {
   // code changes.
   bool gc_at_barriers = detail::env_flag("TMK_GC_AT_BARRIERS", true);
 
+  // Treat the fork that follows a join as a barrier-equivalent reclamation
+  // point: at join the master has merged every slave's records, so its full
+  // vector time is a sound GC floor for the whole cluster; the next kFork
+  // piggybacks it, each slave applies it (truncate + validate) on its compute
+  // thread before the region body runs, and own diff-store entries are
+  // reclaimed one reclamation point later exactly as at barriers.  This is
+  // what lets OpenMP fork/join programs (regions end in kJoin, not a Tmk
+  // barrier) reclaim knowledge logs and diff stores at all.  Default
+  // overridable via TMK_GC_FORK_JOIN.
+  bool gc_fork_join = detail::env_flag("TMK_GC_FORK_JOIN", true);
+
+  // Piggyback applied GC floors on the lock chain: kLockAcquire carries the
+  // requester's applied floor (the lock manager raises its sparse manager-log
+  // floor before serving first-grant deltas, exactly like the sema/cond
+  // paths), and kLockGrant carries the granter's (the requester raises its
+  // own knowledge-log floor if it somehow lags — floors only *propagate*
+  // here; they are established at barriers and forks, so own-diff
+  // reclamation bounds never move on the lock chain).  Default overridable
+  // via TMK_GC_LOCK_FLOORS.
+  bool gc_lock_floors = detail::env_flag("TMK_GC_LOCK_FLOORS", true);
+
+  // Migratory-data push on the lock-grant chain.  Each node tracks, per
+  // lock, the *protected page set* — pages its compute thread faulted or
+  // wrote while holding the lock — and when it forwards a kLockGrant it
+  // piggybacks the diffs of its closed interval for those pages (only the
+  // records the requester is missing anyway, so the diffs ride the message
+  // the protocol already sends).  The requester applies them during its
+  // acquire, before the critical section runs: the next holder's fault and
+  // kDiffRequest/kDiffReply round trip — the classic migratory-sharing
+  // cost (TSP's branch-and-bound bound, Water's force merge) — disappear.
+  // `lock_push_bytes` budgets the pushed diff payload per grant (pages past
+  // the budget fall back to the pull path); when a page's diff would exceed
+  // the page itself, the whole page image is pushed instead (guarded: only
+  // when the granter's knowledge dominates the requester's, so the image
+  // can never clobber a concurrent writer's already-applied words).
+  // 0 disables the push entirely.  Pushed chunks ride the requester-side
+  // diff cache keyed (writer, seq) — idempotent against a concurrent pull —
+  // so the push is inert while the cache is off.  Default overridable via
+  // TMK_LOCK_PUSH_BYTES.
+  std::size_t lock_push_bytes = detail::env_size("TMK_LOCK_PUSH_BYTES", 0);
+
+  // Consecutive critical sections of *this* holder that leave a protected
+  // page untouched before it decays out of the lock's set.  Kept above
+  // lock_push_reprobe so a read-only consumer (whose touches are only
+  // visible on armed probe faults, every reprobe-th push) does not decay
+  // between probes.  Default overridable via TMK_LOCK_PUSH_PROBE.
+  std::uint32_t lock_push_probe = static_cast<std::uint32_t>(
+      detail::env_size("TMK_LOCK_PUSH_PROBE", 8));
+
+  // Every Nth push of a page along the grant chain is applied *armed*
+  // (contents current, page unmapped): the next holder's first access
+  // faults once, locally, proving it still touches the page.  A page still
+  // armed when that holder releases the lock was dead weight — the holder
+  // denies the pusher (kLockPushDeny) and the page demotes from the set
+  // with exponential re-admission backoff.  Must be >= 1.  Default
+  // overridable via TMK_LOCK_PUSH_REPROBE.
+  std::uint32_t lock_push_reprobe = static_cast<std::uint32_t>(
+      detail::env_size("TMK_LOCK_PUSH_REPROBE", 4));
+
   // Adaptive hybrid invalidate/update protocol.  Writers track a per-page
   // *copyset* (every fault-path kDiffRequest served records the requester as
   // a reader of the page); a page whose copyset has been identical and
@@ -155,6 +214,18 @@ struct DsmConfig {
   bool update_enabled() const {
     return update_mode && diff_cache_bytes_per_page > 0 && num_nodes <= 64;
   }
+
+  // Whether the migratory lock-grant push is actually in effect: pushed
+  // chunks park in the requester-side diff cache (idempotency vs the pull
+  // path), so the push is inert while the cache is off.
+  bool lock_push_enabled() const {
+    return lock_push_bytes > 0 && diff_cache_bytes_per_page > 0;
+  }
+
+  // Whether any reclamation point can ever establish a GC floor — gates the
+  // merge-time seeding of the validation-scan index (a floor that never
+  // moves would let the index grow without a consumer).
+  bool gc_floors_enabled() const { return gc_at_barriers || gc_fork_join; }
 };
 
 }  // namespace now::tmk

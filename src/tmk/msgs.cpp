@@ -29,6 +29,7 @@ const char* msg_type_name(std::uint16_t t) {
     case kFreeAck: return "free_ack";
     case kUpdatePush: return "update_push";
     case kUpdateDeny: return "update_deny";
+    case kLockPushDeny: return "lock_push_deny";
     default: return "unknown";
   }
 }

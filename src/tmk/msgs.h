@@ -66,6 +66,14 @@ enum MsgType : std::uint16_t {
   kUpdatePush = 24,  // writer -> stable reader: pages + interval seqs + diffs
   kUpdateDeny = 25,  // reader -> writer: pages whose pushes went untouched
 
+  // Migratory lock push (one-way).  The push itself has no message of its
+  // own — it piggybacks on kLockGrant (diffs of the granter's closed
+  // interval for the lock's hot protected pages, applied by the requester
+  // during its acquire).  A holder that releases the lock with a pushed
+  // page still *armed* (never touched in the whole critical section) denies
+  // the pusher, demoting the page from the lock's protected set.
+  kLockPushDeny = 26,  // holder -> pusher: lock + pages whose pushes were dead
+
   kNumMsgTypes
 };
 

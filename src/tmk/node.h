@@ -129,6 +129,48 @@ class Node {
   // Raises the manager-duty log's floor to a sender's piggybacked floor
   // before merging its delta (service thread only).
   void mgr_gc_to(const VectorTime& floor);
+  // Applies a floor learned off the lock-grant chain (compute thread): raise
+  // the knowledge-log floor, sent-caches and validate pages — but never the
+  // own-diff reclamation bounds, which only move at barrier/fork points
+  // whose global alignment proves no validation fetch is still in flight.
+  // Fast no-op when the floor does not advance past the applied one (the
+  // common case: floors are established at sync points every node attends).
+  void gc_raise_floor(const VectorTime& floor);
+
+  // ---------- migratory lock push (on the kLockGrant chain) ----------
+  // Fault-time attribution: records the faulted page against every lock the
+  // compute thread currently holds (compute thread only; builds the per-CS
+  // touch sets the fold below consumes).
+  void lock_push_note_touch(PageIndex page);
+  // At release: folds the ending critical section's touch set into the
+  // lock's protected-set stats — touched pages (re)gain membership, member
+  // pages untouched for lock_push_probe consecutive own CSes decay out.
+  void lock_push_fold(std::uint32_t lock_id);
+  // At release: pages this acquire applied *armed* that the whole critical
+  // section never touched are dead pushes — deny the pushers (kLockPushDeny)
+  // so the pages demote from their protected sets.
+  void lock_push_judge(std::uint32_t lock_id);
+  // One kLockPushDeny to `pusher` naming the pages whose pushes were dead.
+  void send_lock_push_deny(std::uint32_t lock_id, std::uint32_t pusher,
+                           const std::vector<PageIndex>& pages);
+  // Granter side: appends the push section to a kLockGrant payload — diffs
+  // of this node's own records in `delta` for the lock's member pages,
+  // budgeted by lock_push_bytes, with the whole-page-image fallback when a
+  // diff outgrows the page (guarded by requester-knowledge domination).
+  // Runs on the compute thread (release with a pending requester) or the
+  // service thread (cached grant on kLockForward).
+  void append_lock_push(ByteWriter& w, std::uint32_t lock_id,
+                        const VectorTime& req_vt,
+                        const std::vector<IntervalRecordPtr>& delta);
+  // Requester side, inside lock_acquire/cond_wait on the compute thread:
+  // parses the grant's push section, parks the chunks in the page diff
+  // caches ((writer, seq)-keyed — idempotent against a concurrent pull) and
+  // validates or arms fully covered pages before the critical section runs.
+  void apply_lock_push(std::uint32_t lock_id, std::uint32_t writer,
+                       ByteReader& r);
+  // Shared tail of lock_acquire and cond_wait: merge the grant's records,
+  // apply its push section and raise the piggybacked floor.
+  std::uint32_t consume_lock_grant(sim::Message& grant);
 
   // ---------- adaptive update protocol (compute thread, inside barrier()) ----------
   // Reader side, at barrier entry: consume the pages pushed last epoch —
@@ -195,6 +237,7 @@ class Node {
   void on_diff_request(sim::Message&& m);
   void on_update_push(sim::Message&& m);  // park pushed diffs in the cache
   void on_update_deny(sim::Message&& m);  // demote pages in the copyset
+  void on_lock_push_deny(sim::Message&& m);  // demote protected-set pages
   void on_lock_acquire(sim::Message&& m);   // manager duty
   void on_lock_forward(sim::Message&& m);   // holder duty
   void on_barrier_arrive(sim::Message&& m); // manager duty (node 0)
@@ -315,6 +358,42 @@ class Node {
   // loses the only source a concurrent fetch still wants.  Compute-thread
   // only.
   std::uint32_t gc_reclaimed_seq_ = 0;
+
+  // ---- migratory lock push: per-lock protected page sets ----
+  // Writer-side stats per (lock, page), guarded by lock_protect_mu_: the
+  // fold and the grant-time push assembly run on whichever thread handles
+  // the release/forward (compute or service), and kLockPushDeny lands on
+  // the service thread.
+  struct LockPushStat {
+    std::uint32_t streak = 0;     // consecutive own CSes that touched the page
+    std::uint32_t untouched = 0;  // consecutive own CSes that did not
+    std::uint32_t denials = 0;    // kLockPushDeny count: each one doubles the
+                                  // touch streak required to re-admit, so a
+                                  // page whose sharing only looks migratory
+                                  // stops burning push bytes
+    std::uint32_t pushes = 0;     // pushes of this page (armed-probe cadence)
+    bool member = false;          // in the lock's push set
+  };
+  std::mutex lock_protect_mu_;
+  std::unordered_map<std::uint32_t, std::unordered_map<PageIndex, LockPushStat>>
+      lock_protect_;
+  // Critical-section touch attribution (compute thread only): the locks the
+  // compute thread currently holds, and per held lock the pages it faulted
+  // or wrote since acquiring it.  Folded into lock_protect_ at release.
+  std::vector<std::uint32_t> held_locks_;
+  std::unordered_map<std::uint32_t, std::vector<PageIndex>> cs_touched_;
+  // Pages this node's acquire applied *armed* — or parked a partial push
+  // for, on a probe grant — judged at its release of the same lock (compute
+  // thread only).  `armed` distinguishes the two verdicts: an armed page is
+  // dead if its probe fault never fired; a partial-push page is dead if it
+  // stayed invalid with unapplied notices through the whole critical
+  // section (no fault ever consumed the parked chunks).
+  struct LockArmed {
+    PageIndex page = 0;
+    std::uint32_t writer = 0;
+    bool armed = true;
+  };
+  std::unordered_map<std::uint32_t, std::vector<LockArmed>> lock_armed_judge_;
 
   // ---- lock client state (lock_client_mu_) ----
   struct PendingGrant {

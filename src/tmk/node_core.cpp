@@ -107,10 +107,12 @@ void Node::merge_and_invalidate(const std::vector<IntervalRecordPtr>& recs) {
       // An armed page is already kInvalid; a fresh notice still stales its
       // applied-and-current contents.
       e.push_armed = false;
+      e.lock_push_armed = false;
     }
   }
-  // Seed the barrier-GC scan with the pages that just gained notices.
-  if (!fresh.empty() && rt_.config().gc_at_barriers) {
+  // Seed the GC validation scan with the pages that just gained notices
+  // (consumed whenever a floor is applied: barriers and fork points).
+  if (!fresh.empty() && rt_.config().gc_floors_enabled()) {
     std::lock_guard<std::mutex> lock(gc_scan_mu_);
     for (const IntervalRecordPtr& recp : fresh)
       gc_scan_pages_.insert(gc_scan_pages_.end(), recp->pages.begin(),
@@ -128,6 +130,7 @@ void Node::invalidate_page(PageIndex page, PageEntry& e) {
   rt_.arena().protect_none(id_, page);
   e.state = PageState::kInvalid;
   e.push_armed = false;  // armed contents are no longer current
+  e.lock_push_armed = false;
   stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -46,13 +46,19 @@ void Node::handle_fault(void* addr) {
     case PageState::kInvalid: {
       stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
       e.push_touched = true;  // the reader still uses this data (update probe)
+      lock_push_note_touch(page);
       if (e.unapplied.empty()) {
-        if (e.push_armed) {
-          // Armed update push: the contents are already current, the fault
-          // only remaps the page — the probe that proves the reader still
-          // consumes the pushed data.  No messages.
+        if (e.push_armed || e.lock_push_armed) {
+          // Armed push (barrier update protocol or lock-grant chain): the
+          // contents are already current, the fault only remaps the page —
+          // the probe that proves the reader still consumes the pushed
+          // data.  No messages.
+          if (e.push_armed)
+            stats_.update_push_hits.fetch_add(1, std::memory_order_relaxed);
+          if (e.lock_push_armed)
+            stats_.lock_push_hits.fetch_add(1, std::memory_order_relaxed);
           e.push_armed = false;
-          stats_.update_push_hits.fetch_add(1, std::memory_order_relaxed);
+          e.lock_push_armed = false;
         } else if (!e.ever_valid) {
           // First touch of a never-written page: the zero-filled local copy
           // is the correct initial contents — no communication, as in
@@ -73,6 +79,7 @@ void Node::handle_fault(void* addr) {
       // Reads cannot fault on PROT_READ, so this is a write upgrade.
       stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
       e.push_touched = true;  // writes count as touches for the update probe
+      lock_push_note_touch(page);
       if (e.twin_valid && e.twin.seq <= own_seq_) {
         if (e.twin.seq <= gc_reclaimed_seq_) {
           // The interval's diffs were already reclaimed everywhere, so no
@@ -108,6 +115,14 @@ void Node::handle_fault(void* addr) {
       NOW_CHECK(false) << "fault on a writable page (node " << id_ << ", page "
                        << page << ")";
   }
+}
+
+void Node::lock_push_note_touch(PageIndex page) {
+  // Critical-section attribution for the migratory lock push: the faulted
+  // page belongs to every lock this compute thread currently holds.
+  // held_locks_ is only populated while lock_push is enabled, so the
+  // default fault path pays a single empty-vector check.
+  for (std::uint32_t lock_id : held_locks_) cs_touched_[lock_id].push_back(page);
 }
 
 void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
@@ -243,6 +258,15 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
 
     std::stable_sort(want.begin(), want.end(), applies_before);
 
+    // Migratory relay retention: a fault on a page touched inside a held
+    // critical section keeps its diff chunks cached after applying them, so
+    // this node's later kLockGrant can push the chain's accumulated diffs
+    // onward (sparse chunks instead of whole-page images).  Deferred past
+    // the apply loop: an insert can FIFO-evict an entry a later iteration
+    // still wants.
+    const bool retain = rt_.config().lock_push_enabled() && !held_locks_.empty();
+    std::vector<std::pair<const UnappliedNotice*, std::vector<DiffBytes>>> keep;
+
     std::lock_guard<std::mutex> lock(e.mu);
     rt_.arena().protect_rw(id_, page);
     std::uint8_t* mem = rt_.arena().page_ptr(id_, page);
@@ -255,34 +279,44 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
         // time and still is: only this compute thread inserts (an update
         // push racing this fetch waits in the pending queue until the
         // barrier's validate pass), so there is no stale entry to release.
+        std::vector<DiffBytes> owned;
+        if (retain) owned.reserve(it->second.size());
         for (const DiffChunkView& d : it->second) {
           patched += diff_apply(mem, kPageSize, d.first, d.second);
           ++applied;
+          if (retain) owned.emplace_back(d.first, d.first + d.second);
         }
+        if (retain) keep.emplace_back(&n, std::move(owned));
         continue;
       }
-      const auto* cached = e.diff_cache.find(n.writer, n.seq);
+      const auto* cached = e.diff_cache.lookup(n.writer, n.seq);
       NOW_CHECK(cached != nullptr)
           << "writer " << n.writer << " had no diff for page " << page
           << " interval " << n.seq;
-      for (const DiffBytes& d : *cached) {
+      for (const DiffBytes& d : cached->chunks) {
         patched += diff_apply(mem, kPageSize, d);
         ++applied;
       }
       // An applied interval is never wanted again; release the entry (this
       // is what unpins barrier-GC prefetches once they have served their
-      // fault).
-      e.diff_cache.erase(n.writer, n.seq);
+      // fault).  Under the migratory relay, droppable entries are retained
+      // instead — the chain wants them — but pinned ones still release:
+      // their writers reclaimed the diffs against a floor every peer has
+      // applied, so no grant delta can ever name them again, and a stale
+      // pin would leak pinned bytes forever.
+      if (!retain || cached->pinned) e.diff_cache.erase(n.writer, n.seq);
     }
+    for (auto& [n, owned] : keep)
+      e.diff_cache.insert(n->writer, n->seq, std::move(owned), cache_budget);
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));
-    // Nothing fetched for the faulting page itself is retained: an applied
-    // interval is never wanted again (each (writer, seq) is learned and
-    // invalidated at most once), so copying its reply chunks into the cache
-    // would be pure overhead.  The cache is populated for *other* pages
-    // only — by the prefetch parking loop above and by the barrier-GC
-    // validation pass.
+    // Nothing else fetched for the faulting page itself is retained: an
+    // applied interval is only wanted again by the migratory relay above
+    // (each (writer, seq) is learned and invalidated at most once), so
+    // copying other reply chunks into the cache would be pure overhead.
+    // The cache is populated for *other* pages by the prefetch parking loop
+    // above and by the barrier-GC validation pass.
 
     // Drop what we applied; the service thread may have appended more
     // notices (a flush) while we were fetching — loop if so.

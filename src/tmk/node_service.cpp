@@ -44,6 +44,10 @@ void Node::handle_message(sim::Message&& m) {
       ByteReader r(m.payload);
       r.u64();       // fn
       (void)r.bytes();  // args
+      // The fork-point GC floor: parsed past here, applied by the compute
+      // thread in slave_serve_one (its validation pass fetches and blocks,
+      // which a service handler never may).
+      KnowledgeLog::deserialize_vt(r);
       merge_and_invalidate(KnowledgeLog::deserialize_records(r));
       fork_slot_.post(std::move(m));
       return;
@@ -73,6 +77,7 @@ void Node::handle_message(sim::Message&& m) {
     case kDiffRequest: on_diff_request(std::move(m)); return;
     case kUpdatePush: on_update_push(std::move(m)); return;
     case kUpdateDeny: on_update_deny(std::move(m)); return;
+    case kLockPushDeny: on_lock_push_deny(std::move(m)); return;
     case kLockAcquire: on_lock_acquire(std::move(m)); return;
     case kLockForward: on_lock_forward(std::move(m)); return;
     case kBarrierArrive: on_barrier_arrive(std::move(m)); return;
@@ -229,6 +234,28 @@ void Node::on_update_deny(sim::Message&& m) {
     cs.promoted = false;
     cs.stable_set = 0;
     cs.stable_epochs = 0;
+  }
+}
+
+void Node::on_lock_push_deny(sim::Message&& m) {
+  // A holder released the lock with our pushed pages still armed (its whole
+  // critical section never touched them), or its cache budget can never
+  // park them: demote the pages from the lock's protected set.  Each denial
+  // doubles the touch streak required to re-admit (see lock_push_fold).
+  ByteReader r(m.payload);
+  const std::uint32_t lock_id = r.u32();
+  const std::uint32_t npages = r.u32();
+  std::lock_guard<std::mutex> lock(lock_protect_mu_);
+  auto& prot = lock_protect_[lock_id];
+  for (std::uint32_t p = 0; p < npages; ++p) {
+    const PageIndex page = r.u32();
+    LockPushStat& ps = prot[page];
+    if (ps.member)
+      stats_.lock_push_demotions.fetch_add(1, std::memory_order_relaxed);
+    ps.member = false;
+    ps.streak = 0;
+    ps.untouched = 0;
+    ++ps.denials;
   }
 }
 

@@ -5,6 +5,7 @@
 // proposes to remove), and the Tmk_fork/Tmk_join pair OpenMP-style execution
 // rides on.
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <tuple>
 
@@ -49,11 +50,18 @@ void Node::barrier() {
   auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
   ByteWriter w;
   VectorTime vt;
+  VectorTime floor_applied;
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     vt = log_.vt();
+    floor_applied = gc_floor_applied_;
   }
   KnowledgeLog::serialize_vt(w, vt);
+  // The sender's applied GC floor, like every delta bound for a sparse
+  // manager log (see sema_signal): a fork-point floor raises the sent-cache
+  // past records the barrier manager never saw, so it must raise its own
+  // floor before merging or the delta would look non-contiguous.
+  KnowledgeLog::serialize_vt(w, floor_applied);
   KnowledgeLog::serialize_records(w, delta);
 
   sim::Message reply = rpc_call(mgr, kBarrierArrive, w.take());
@@ -74,6 +82,7 @@ void Node::on_barrier_arrive(sim::Message&& m) {
   a.vt = KnowledgeLog::deserialize_vt(r);
   a.rpc_seq = m.seq;
   a.arrive_ts = m.arrive_ts_ns;
+  mgr_gc_to(KnowledgeLog::deserialize_vt(r));
   mgr_.log.merge(KnowledgeLog::deserialize_records(r));
   mgr_.barrier.arrivals.push_back(std::move(a));
 
@@ -122,14 +131,21 @@ void Node::mgr_gc_to(const VectorTime& floor) {
 }
 
 void Node::gc_at_barrier(const VectorTime& floor) {
-  // Own diff-store entries are reclaimed one barrier late: this pass drops
-  // entries at or below the *previous* floor, while the current floor's
-  // diffs stay servable until every node has validated its pages against it.
-  // (Causality makes the delay sufficient: a peer's validation fetch is
-  // replied to before the peer can arrive at the next barrier, and this node
-  // only reclaims after that next barrier departs.)
+  // Own diff-store entries are reclaimed one reclamation point late: this
+  // pass drops entries at or below the *previous* floor, while the current
+  // floor's diffs stay servable until every node has validated its pages
+  // against it.  (Causality makes the delay sufficient: a peer's validation
+  // fetch is replied to before the peer can reach the next reclamation
+  // point — the next barrier, or the next fork, which the master only sends
+  // after every slave's join — and this node only reclaims after that next
+  // point.)  Barriers and fork points interleave freely: both are global
+  // sync points, so the drain argument holds across either sequence, and
+  // the floors they establish are monotone (a fork floor is the master's
+  // post-join vector time, which dominates any earlier barrier floor; a
+  // later barrier's floor is a min over vector times that all dominate the
+  // fork floor).
   const std::uint32_t prev_drop = gc_drop_seq_;
-  gc_drop_seq_ = floor[id_];
+  gc_drop_seq_ = std::max(gc_drop_seq_, floor[id_]);
   gc_reclaimed_seq_ = prev_drop;
 
   {
@@ -168,6 +184,38 @@ void Node::gc_at_barrier(const VectorTime& floor) {
               id_, entries, static_cast<unsigned long long>(bytes), prev_drop);
     }
   }
+}
+
+void Node::gc_raise_floor(const VectorTime& floor) {
+  // A floor learned off the lock-grant chain.  Floors are *established* only
+  // at global sync points (barriers, forks) that this node also attends, so
+  // a propagated floor almost never advances past the applied one and this
+  // returns at the compare.  When it does advance (defensive: a config mix
+  // where this node skipped a establishment point), the knowledge log and
+  // sent-caches are raised and pages are validated — but the own-diff
+  // reclamation bounds (gc_drop_seq_ / gc_reclaimed_seq_) are NOT moved:
+  // advancing them requires proof that every peer's validation fetches have
+  // drained, which only the global alignment of a barrier or fork provides.
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    bool advances = false;
+    for (std::uint32_t i = 0; i < num_nodes_; ++i) {
+      if (floor[i] > gc_floor_applied_[i]) {
+        advances = true;
+        break;
+      }
+    }
+    if (!advances) return;
+    const std::size_t dropped = log_.gc_to(floor);
+    if (dropped)
+      stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
+    for (std::uint32_t p = 0; p < num_nodes_; ++p) {
+      sent_node_vt_[p] = vt_max(std::move(sent_node_vt_[p]), floor);
+      sent_mgr_vt_[p] = vt_max(std::move(sent_mgr_vt_[p]), floor);
+    }
+    gc_floor_applied_ = vt_max(std::move(gc_floor_applied_), floor);
+  }
+  gc_validate_pages(floor);
 }
 
 void Node::gc_validate_pages(const VectorTime& floor) {
@@ -631,9 +679,25 @@ void Node::update_copyset_fold(std::uint64_t epoch) {
 // Locks
 // ---------------------------------------------------------------------------
 
+std::uint32_t Node::consume_lock_grant(sim::Message& grant) {
+  ByteReader r(grant.payload);
+  const std::uint32_t lock_id = r.u32();
+  const VectorTime floor = KnowledgeLog::deserialize_vt(r);
+  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
+  arrive(grant);
+  // The push section must land after the merge (the pushed diffs cover the
+  // write notices the records just created) and runs on this compute thread,
+  // which is the only mutator of the page diff caches — the same partition
+  // invariant the fault path relies on.
+  apply_lock_push(lock_id, grant.src, r);
+  if (rt_.config().gc_lock_floors) gc_raise_floor(floor);
+  return lock_id;
+}
+
 void Node::lock_acquire(std::uint32_t lock_id) {
   sync_cpu();
   stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
+  const bool lock_push = rt_.config().lock_push_enabled();
   {
     std::lock_guard<std::mutex> lock(lock_client_mu_);
     LockClientState& st = lock_client_[lock_id];
@@ -643,6 +707,10 @@ void Node::lock_acquire(std::uint32_t lock_id) {
       // caching).  Consistency needs nothing: the release chain ends here.
       st.held = true;
       stats_.lock_acquires_cached.fetch_add(1, std::memory_order_relaxed);
+      if (lock_push) {
+        held_locks_.push_back(lock_id);
+        cs_touched_[lock_id].clear();
+      }
       return;
     }
     st.awaiting = true;
@@ -653,6 +721,8 @@ void Node::lock_acquire(std::uint32_t lock_id) {
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     KnowledgeLog::serialize_vt(w, log_.vt());
+    // Applied GC floor, for the manager's sparse duty log (see sema_signal).
+    KnowledgeLog::serialize_vt(w, gc_floor_applied_);
   }
   sim::Message m;
   m.type = kLockAcquire;
@@ -661,11 +731,8 @@ void Node::lock_acquire(std::uint32_t lock_id) {
   send_compute(std::move(m));
 
   sim::Message grant = lock_grant_slot_.take();
-  ByteReader r(grant.payload);
-  const std::uint32_t granted = r.u32();
+  const std::uint32_t granted = consume_lock_grant(grant);
   NOW_CHECK_EQ(granted, lock_id);
-  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
-  arrive(grant);
   {
     std::lock_guard<std::mutex> lock(lock_client_mu_);
     LockClientState& st = lock_client_[lock_id];
@@ -673,11 +740,25 @@ void Node::lock_acquire(std::uint32_t lock_id) {
     st.cached = true;
     st.awaiting = false;
   }
+  if (lock_push) {
+    held_locks_.push_back(lock_id);
+    cs_touched_[lock_id].clear();
+  }
 }
 
 void Node::lock_release(std::uint32_t lock_id) {
   sync_cpu();
   close_interval();
+  if (rt_.config().lock_push_enabled()) {
+    held_locks_.erase(
+        std::remove(held_locks_.begin(), held_locks_.end(), lock_id),
+        held_locks_.end());
+    // Fold before any grant can be assembled for this release: the pending
+    // grant below (and any later cached grant from the service thread) reads
+    // the protected set the fold just updated.
+    lock_push_fold(lock_id);
+    lock_push_judge(lock_id);
+  }
   std::optional<PendingGrant> pending;
   {
     std::lock_guard<std::mutex> lock(lock_client_mu_);
@@ -708,7 +789,9 @@ void Node::grant_lock(std::uint32_t lock_id, std::uint32_t requester,
   }
   ByteWriter w;
   w.u32(lock_id);
+  KnowledgeLog::serialize_vt(w, gc_floor_snapshot());
   KnowledgeLog::serialize_records(w, delta);
+  append_lock_push(w, lock_id, vt, delta);
   sim::Message m;
   m.type = kLockGrant;
   m.dst = requester;
@@ -723,6 +806,11 @@ void Node::on_lock_acquire(sim::Message&& m) {
   ByteReader r(m.payload);
   const std::uint32_t lock_id = r.u32();
   const VectorTime vt = KnowledgeLog::deserialize_vt(r);
+  // The requester's applied GC floor: raise the sparse manager duty log
+  // before its next delta is cut, exactly like the sema/cond paths — this is
+  // what lets lock-heavy phases reclaim manager-log records at all.
+  const VectorTime floor = KnowledgeLog::deserialize_vt(r);
+  if (rt_.config().gc_lock_floors) mgr_gc_to(floor);
   mgr_route_lock(lock_id, m.src, vt, m.arrive_ts_ns);
 }
 
@@ -736,7 +824,9 @@ void Node::mgr_route_lock(std::uint32_t lock_id, std::uint32_t requester,
     L.tail = requester;
     ByteWriter w;
     w.u32(lock_id);
+    KnowledgeLog::serialize_vt(w, gc_floor_snapshot());
     KnowledgeLog::serialize_records(w, mgr_.log.delta_since(vt));
+    w.u32(0);  // no migratory push from the manager (it holds no diffs)
     sim::Message grant;
     grant.type = kLockGrant;
     grant.dst = requester;
@@ -773,7 +863,9 @@ void Node::on_lock_forward(sim::Message&& m) {
         << "self-forward in unexpected lock state";
     ByteWriter w;
     w.u32(lock_id);
+    KnowledgeLog::serialize_vt(w, gc_floor_snapshot());
     KnowledgeLog::serialize_records(w, {});
+    w.u32(0);  // nothing to push to ourselves
     sim::Message grant;
     grant.type = kLockGrant;
     grant.dst = id_;
@@ -802,6 +894,435 @@ void Node::on_lock_forward(sim::Message&& m) {
   NOW_LOG(kDebug, "node %u: forward lock %u: %s", id_, lock_id,
           grant_now ? "grant from cache" : "queued pending");
   if (grant_now) grant_lock(lock_id, requester, vt, m.arrive_ts_ns, /*from_service=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Migratory lock push: diffs piggybacked on the kLockGrant chain
+// ---------------------------------------------------------------------------
+
+void Node::lock_push_fold(std::uint32_t lock_id) {
+  std::vector<PageIndex> touched;
+  auto tit = cs_touched_.find(lock_id);
+  if (tit != cs_touched_.end()) touched = std::move(tit->second);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  const std::uint32_t probe =
+      std::max<std::uint32_t>(1, rt_.config().lock_push_probe);
+  std::lock_guard<std::mutex> lock(lock_protect_mu_);
+  auto& prot = lock_protect_[lock_id];
+  for (PageIndex pg : touched) {
+    LockPushStat& ps = prot[pg];
+    ps.untouched = 0;
+    ++ps.streak;
+    // Exponential re-admission backoff: each past denial doubles the touch
+    // streak required before the page pushes again (capped), so sharing
+    // that only *looks* migratory stops burning push bytes while a page
+    // touched in every critical section joins the set immediately.
+    const std::uint32_t need = 1u << std::min<std::uint32_t>(ps.denials, 4);
+    if (ps.streak >= need) ps.member = true;
+  }
+  for (auto it = prot.begin(); it != prot.end();) {
+    if (std::binary_search(touched.begin(), touched.end(), it->first)) {
+      ++it;
+      continue;
+    }
+    LockPushStat& ps = it->second;
+    ps.streak = 0;
+    if (++ps.untouched >= probe) {
+      // Untouched for lock_push_probe consecutive of our own critical
+      // sections: the page is no longer part of what this lock protects.
+      ps.member = false;
+      if (ps.denials == 0) {
+        // Quiescent and never denied: forget the page entirely, so the map
+        // tracks live sharing rather than history.
+        it = prot.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+void Node::lock_push_judge(std::uint32_t lock_id) {
+  auto it = lock_armed_judge_.find(lock_id);
+  if (it == lock_armed_judge_.end() || it->second.empty()) return;
+  std::vector<LockArmed> armed = std::move(it->second);
+  it->second.clear();
+
+  std::map<std::uint32_t, std::vector<PageIndex>> deny;  // pusher -> pages
+  for (const LockArmed& a : armed) {
+    PageEntry& e = pages_[a.page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (a.armed) {
+      // Still armed after the whole critical section ran: the push was dead
+      // weight.  (A consumed probe cleared the flag at its fault and counted
+      // a hit; a fresh write notice also cleared it — no verdict then.)
+      if (!e.lock_push_armed) continue;
+      e.lock_push_armed = false;  // contents stay current; bookkeeping drops
+    } else {
+      // Partial-push probe: the chunks were parked, not applied.  If the
+      // page is still invalid with unapplied notices, no fault consumed
+      // them all critical section long — the pusher is shipping bytes
+      // nobody reads — while a page that went valid was read: no verdict.
+      // Heuristic, not proof: a page consumed mid-CS and then re-staled by
+      // an unrelated sync (a flush notice, say) is denied unfairly.  The
+      // verdict only moves bookkeeping — a hot page re-admits after the
+      // backoff streak of touched critical sections, contents never depend
+      // on it.
+      if (e.state != PageState::kInvalid || e.unapplied.empty()) continue;
+    }
+    deny[a.writer].push_back(a.page);
+  }
+  for (const auto& [pusher, pages] : deny)
+    send_lock_push_deny(lock_id, pusher, pages);
+}
+
+void Node::send_lock_push_deny(std::uint32_t lock_id, std::uint32_t pusher,
+                               const std::vector<PageIndex>& pages) {
+  ByteWriter w;
+  w.u32(lock_id);
+  w.u32(static_cast<std::uint32_t>(pages.size()));
+  for (PageIndex pg : pages) w.u32(pg);
+  sim::Message m;
+  m.type = kLockPushDeny;
+  m.dst = pusher;
+  m.payload = w.take();
+  send_compute(std::move(m));
+}
+
+void Node::append_lock_push(ByteWriter& w, std::uint32_t lock_id,
+                            const VectorTime& req_vt,
+                            const std::vector<IntervalRecordPtr>& delta) {
+  const auto& cfg = rt_.config();
+  if (!cfg.lock_push_enabled() || delta.empty()) {
+    w.u32(0);
+    return;
+  }
+
+  // Candidate pages: protected-set members named by the delta's records.
+  // Records of *other* nodes matter too — on a rotating grant chain the
+  // delta relays the whole chain history the requester missed, so a page
+  // everyone updates under the lock carries several writers' notices.  Our
+  // own intervals' diffs come from the diff store; relayed writers' diffs
+  // come from this page's requester-side cache, where the fault path and
+  // the push-apply path *retain* chunks for lock-touched pages exactly so
+  // the chain can forward them (the migratory relay).  A page the relay
+  // cannot fully cover falls back to the whole-page image, and failing
+  // that to a partial own-diff push or the plain pull path.
+  struct Cand {
+    PageIndex page = 0;
+    // Every delta record naming the page, as (writer, seq) in delta order.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  };
+  std::vector<Cand> cands;
+  {
+    std::lock_guard<std::mutex> lock(lock_protect_mu_);
+    auto it = lock_protect_.find(lock_id);
+    if (it == lock_protect_.end()) {
+      w.u32(0);
+      return;
+    }
+    std::map<PageIndex, std::size_t> index;
+    for (const IntervalRecordPtr& rec : delta) {
+      for (PageIndex pg : rec->pages) {
+        auto ps = it->second.find(pg);
+        if (ps == it->second.end() || !ps->second.member) continue;
+        auto [slot, fresh] = index.emplace(pg, cands.size());
+        if (fresh) cands.push_back({pg, {}});
+        cands[slot->second].entries.emplace_back(rec->node, rec->seq);
+      }
+    }
+  }
+  if (cands.empty()) {
+    w.u32(0);
+    return;
+  }
+
+  // Whole-page images are sound only when our knowledge dominates the
+  // requester's: then everything it could already have applied to the page,
+  // our valid copy contains too, and the memcpy can never clobber a
+  // concurrent writer's applied words.  The snapshot vector time rides with
+  // each image so the requester can verify coverage of every notice it
+  // holds.  (Diff pushes need no such guard — they patch exactly the bytes
+  // the named intervals wrote, like any fetched diff.)
+  bool dominates = true;
+  VectorTime grant_vt;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    grant_vt = log_.vt();
+    for (std::uint32_t i = 0; i < num_nodes_; ++i) {
+      if (req_vt[i] > grant_vt[i]) {
+        dominates = false;
+        break;
+      }
+    }
+  }
+
+  const std::size_t image_sz = kPageSize + 6 + 4 * num_nodes_;
+  ByteWriter pw;  // entries, counted as we go (npush is written first below)
+  std::uint32_t npush = 0;
+  std::size_t budget = cfg.lock_push_bytes;
+  const std::uint32_t reprobe =
+      std::max<std::uint32_t>(1, cfg.lock_push_reprobe);
+  for (const Cand& c : cands) {
+    PageEntry& e = pages_[c.page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    // Materialize any twin still pending for a pushed own interval (the
+    // page is at most PROT_READ once its interval closed, so its bytes are
+    // stable; same rule — and same e.mu-before-store_mu_ order — as
+    // on_diff_request).
+    for (const auto& [wtr, seq] : c.entries)
+      if (wtr == id_ && e.twin_valid && e.twin.seq == seq)
+        materialize_twin(c.page, e);
+
+    // Size the push: own intervals from the diff store, relayed ones from
+    // the page's retained cache.  Own store entries cannot be reclaimed
+    // underneath this grant (delta seqs are above the requester's vector
+    // time, which dominates every announced floor, and own-diff reclamation
+    // lags the floor by one reclamation point — the NOW_CHECK fails loudly
+    // if that invariant is ever broken); retained cache entries are stable
+    // under e.mu, which we hold until they are serialized.
+    std::size_t diff_sz = 0;
+    std::size_t own_sz = 0;  // the subset a partial push actually serializes
+    bool relay_covered = true;
+    std::size_t own = 0;
+    {
+      std::lock_guard<std::mutex> sl(store_mu_);
+      for (const auto& [wtr, seq] : c.entries) {
+        if (wtr == id_) {
+          auto it = diff_store_.find(diff_store_key(c.page, seq));
+          NOW_CHECK(it != diff_store_.end())
+              << "lock push sourced a reclaimed diff: page " << c.page
+              << " interval " << seq;
+          ++own;
+          std::size_t sz = 12;  // writer + seq + chunk count
+          for (const DiffBytes& d : it->second) sz += 4 + d.size();
+          diff_sz += sz;
+          own_sz += sz;
+        } else if (const auto* chunks = e.diff_cache.find(wtr, seq)) {
+          diff_sz += 12;
+          for (const DiffBytes& d : *chunks) diff_sz += 4 + d.size();
+        } else {
+          relay_covered = false;  // evicted (or never seen): no full relay
+        }
+      }
+    }
+
+    // Image fallback: the relay cannot cover the page (missing foreign
+    // chunks) or a dense rewrite made the chunked diffs outgrow the page.
+    std::vector<std::uint8_t> image;
+    if ((!relay_covered || diff_sz > kPageSize) && dominates &&
+        image_sz <= budget && e.state == PageState::kReadOnly) {
+      // kReadOnly only: a writable page is mid-interval on our own compute
+      // thread and copying it would race the writes byte-for-byte.
+      const std::uint8_t* mem = rt_.arena().page_ptr(id_, c.page);
+      image.assign(mem, mem + kPageSize);
+    }
+    const bool as_image = !image.empty();
+    const bool as_diffs = !as_image && relay_covered && diff_sz <= budget &&
+                          diff_sz <= kPageSize;
+    // Partial own-diff push: the requester still pulls the rest, but skips
+    // the round trip to *us* (its fault finds our chunks cached).  Only the
+    // own bytes are serialized, so only they are charged to the budget.
+    const bool as_partial =
+        !as_image && !as_diffs && own > 0 && own_sz <= budget;
+    if (!as_image && !as_diffs && !as_partial) continue;  // plain pull path
+
+    // Armed-probe cadence: every reprobe-th push of this (lock, page) is
+    // applied armed at the requester, proving the chain still consumes it.
+    bool arm = false;
+    {
+      std::lock_guard<std::mutex> plock(lock_protect_mu_);
+      LockPushStat& ps = lock_protect_[lock_id][c.page];
+      arm = (++ps.pushes % reprobe) == 0;
+    }
+
+    pw.u32(c.page);
+    pw.u8(as_image ? 1 : 0);
+    pw.u8(arm ? 1 : 0);
+    if (as_image) {
+      KnowledgeLog::serialize_vt(pw, grant_vt);
+      pw.bytes(image.data(), image.size());
+      budget -= image_sz;
+    } else {
+      ByteWriter entries;
+      std::uint32_t n = 0;
+      std::lock_guard<std::mutex> sl(store_mu_);
+      for (const auto& [wtr, seq] : c.entries) {
+        const std::vector<DiffBytes>* chunks = nullptr;
+        if (wtr == id_) {
+          auto it = diff_store_.find(diff_store_key(c.page, seq));
+          NOW_CHECK(it != diff_store_.end())
+              << "lock push sourced a reclaimed diff: page " << c.page
+              << " interval " << seq;
+          chunks = &it->second;
+        } else if (as_diffs) {
+          chunks = e.diff_cache.find(wtr, seq);
+          NOW_CHECK(chunks != nullptr);  // stable under e.mu since sizing
+        } else {
+          continue;  // partial push: own intervals only
+        }
+        entries.u32(wtr);
+        entries.u32(seq);
+        entries.u32(static_cast<std::uint32_t>(chunks->size()));
+        for (const DiffBytes& d : *chunks) entries.bytes(d.data(), d.size());
+        ++n;
+      }
+      pw.u32(n);
+      pw.raw(entries.data().data(), entries.size());
+      budget -= as_diffs ? diff_sz : own_sz;
+    }
+    ++npush;
+  }
+  w.u32(npush);
+  if (npush > 0) {
+    w.raw(pw.data().data(), pw.size());
+    stats_.lock_pushes_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_.lock_pages_pushed.fetch_add(npush, std::memory_order_relaxed);
+  }
+}
+
+void Node::apply_lock_push(std::uint32_t lock_id, std::uint32_t writer,
+                           ByteReader& r) {
+  const std::uint32_t npush = r.u32();
+  if (npush == 0) return;
+  const auto& cfg = rt_.config();
+  const std::size_t cache_budget = cfg.diff_cache_bytes_per_page;
+  std::size_t patched = 0;
+  std::uint64_t applied = 0;
+  std::vector<PageIndex> deny;  // pushes the cache budget can never hold
+
+  auto finish = [&](PageEntry& e, PageIndex page, bool arm) {
+    e.ever_valid = true;
+    if (arm) {
+      // Probe: contents current, page left unmapped — the critical
+      // section's first access faults once, locally, and the release
+      // judges a page still armed as a dead push (lock_push_judge).
+      rt_.arena().protect_none(id_, page);
+      e.lock_push_armed = true;
+      lock_armed_judge_[lock_id].push_back({page, writer, /*armed=*/true});
+    } else {
+      rt_.arena().protect_read(id_, page);
+      e.state = PageState::kReadOnly;
+      stats_.lock_push_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  for (std::uint32_t p = 0; p < npush; ++p) {
+    const PageIndex page = r.u32();
+    const std::uint8_t kind = r.u8();
+    const bool arm = r.u8() != 0;
+    PageEntry& e = pages_[page];
+
+    if (kind == 1) {  // whole-page image
+      const VectorTime img_vt = KnowledgeLog::deserialize_vt(r);
+      const auto [img, n] = r.bytes_view();
+      NOW_CHECK_EQ(n, kPageSize);
+      std::lock_guard<std::mutex> lock(e.mu);
+      if (e.state != PageState::kInvalid || e.unapplied.empty()) continue;
+      // The granter's valid copy had every notice it knew applied, so the
+      // image covers exactly the notices at or below its snapshot vector
+      // time — including the relayed chain history of other writers.  A
+      // notice above it (a writer concurrent with the granter) cannot be
+      // ordered against the image: pull path instead.
+      bool covered = true;
+      for (const UnappliedNotice& un : e.unapplied) {
+        if (un.seq > img_vt[un.writer]) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) continue;
+      rt_.arena().protect_rw(id_, page);
+      std::memcpy(rt_.arena().page_ptr(id_, page), img, kPageSize);
+      patched += kPageSize;
+      ++applied;
+      e.unapplied.clear();
+      finish(e, page, arm);
+      continue;
+    }
+
+    // Diff push: own the chunks and park them in the page's cache, keyed
+    // (writer, seq) exactly like a fetched reply — idempotent against any
+    // concurrent pull of the same intervals.  Applied entries are RETAINED
+    // (not erased): this page is lock-protected, and the retained chunks
+    // are what lets our own later grant relay the chain's accumulated
+    // diffs onward instead of shipping whole-page images.
+    const std::uint32_t nentries = r.u32();
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::vector<DiffBytes>>>
+        wire(nentries);
+    for (std::uint32_t i = 0; i < nentries; ++i) {
+      std::get<0>(wire[i]) = r.u32();
+      std::get<1>(wire[i]) = r.u32();
+      const std::uint32_t nchunks = r.u32();
+      std::get<2>(wire[i]).reserve(nchunks);
+      for (std::uint32_t k = 0; k < nchunks; ++k) {
+        const auto [ptr, nb] = r.bytes_view();
+        std::get<2>(wire[i]).emplace_back(ptr, ptr + nb);
+      }
+    }
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (e.state != PageState::kInvalid || e.unapplied.empty()) continue;
+    bool any_kept = false;
+    for (auto& [wtr, seq, chunks] : wire)
+      any_kept |= e.diff_cache.insert(wtr, seq, std::move(chunks),
+                                      cache_budget, /*prefetched=*/false,
+                                      /*pushed=*/true);
+    if (!any_kept) {
+      // The cache budget rejected every chunk (GC pins already fill it, or
+      // oversized diffs): these pushes can never land, and the re-fetching
+      // fault would keep the protected set stable forever.  Deny now;
+      // re-admission backs off.
+      deny.push_back(page);
+      continue;
+    }
+    // Apply only when the cache now covers every wanted interval — applying
+    // a suffix out of lamport order could resurrect overwritten bytes.
+    // Partially covered pages stay lazy: the fault serves the cached part
+    // locally and fetches only the rest.
+    bool covered = true;
+    for (const UnappliedNotice& un : e.unapplied) {
+      if (e.diff_cache.lookup(un.writer, un.seq) == nullptr) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) {
+      // Partially covered: the parked chunks serve the fault if one comes.
+      // On a probe grant, judge that at release — a page that stays invalid
+      // through the whole critical section is a dead push and must demote,
+      // or a chronic partial pusher would ship its bytes forever.
+      if (arm) lock_armed_judge_[lock_id].push_back({page, writer, false});
+      continue;
+    }
+    std::stable_sort(e.unapplied.begin(), e.unapplied.end(), applies_before);
+    rt_.arena().protect_rw(id_, page);
+    std::uint8_t* mem = rt_.arena().page_ptr(id_, page);
+    for (const UnappliedNotice& un : e.unapplied) {
+      const auto* cached = e.diff_cache.lookup(un.writer, un.seq);
+      NOW_CHECK(cached != nullptr);
+      for (const DiffBytes& d : cached->chunks) {
+        patched += diff_apply(mem, kPageSize, d);
+        ++applied;
+      }
+      // Droppable entries are retained for the migratory relay; pinned ones
+      // (barrier-GC stashes of reclaimed diffs) must release on apply, same
+      // as on the fault path — their seqs are below the GC floor, so no
+      // grant delta can ever name them again and a stale pin would leak
+      // pinned bytes forever.
+      if (cached->pinned) e.diff_cache.erase(un.writer, un.seq);
+    }
+    e.unapplied.clear();
+    finish(e, page, arm);
+  }
+
+  if (applied > 0) {
+    stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
+    clock_.advance_us(cfg.diff_apply_per_kb_us *
+                      (static_cast<double>(patched) / 1024.0));
+  }
+  if (!deny.empty()) send_lock_push_deny(lock_id, writer, deny);
 }
 
 // ---------------------------------------------------------------------------
@@ -896,6 +1417,17 @@ void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
   sync_cpu();
   stats_.cond_ops.fetch_add(1, std::memory_order_relaxed);
   close_interval();
+  const bool lock_push = rt_.config().lock_push_enabled();
+  if (lock_push) {
+    // cond_wait releases the lock: fold and judge the ending critical
+    // section exactly as lock_release does, before any grant can be built
+    // from this release.
+    held_locks_.erase(
+        std::remove(held_locks_.begin(), held_locks_.end(), lock_id),
+        held_locks_.end());
+    lock_push_fold(lock_id);
+    lock_push_judge(lock_id);
+  }
 
   // Register at the manager FIRST: the wait message reaches the manager's
   // mailbox before any signal that the lock's next holder could issue, which
@@ -937,17 +1469,18 @@ void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
 
   // Block until a signal re-routes the lock to us.
   sim::Message grant = lock_grant_slot_.take();
-  ByteReader r(grant.payload);
-  const std::uint32_t granted = r.u32();
+  const std::uint32_t granted = consume_lock_grant(grant);
   NOW_CHECK_EQ(granted, lock_id);
-  merge_and_invalidate(KnowledgeLog::deserialize_records(r));
-  arrive(grant);
   {
     std::lock_guard<std::mutex> lock(lock_client_mu_);
     LockClientState& st = lock_client_[lock_id];
     st.held = true;
     st.cached = true;
     st.awaiting = false;
+  }
+  if (lock_push) {
+    held_locks_.push_back(lock_id);
+    cs_touched_[lock_id].clear();
   }
   NOW_LOG(kDebug, "node %u: cond_wait(%u,%u) woke", id_, lock_id, cond_id);
 }
@@ -1055,12 +1588,24 @@ void Node::fork_slaves(ForkFn fn, const void* arg, std::size_t arg_size) {
   // Fork is a barrier-free release point: nothing is pushed here, so the
   // push pass's candidate list must not accumulate across regions.
   epoch_dirty_.clear();
+  // The fork after a join is a barrier-equivalent reclamation point: the
+  // master merged every slave's records at the join, so its vector time
+  // dominates the whole cluster's — and the fork deltas below bring every
+  // slave up to exactly it.  Piggyback it as a GC floor: each slave applies
+  // it on its compute thread before the region body runs (so its validation
+  // fetches are served before it can join), and the master applies it here.
+  VectorTime floor;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    floor = log_.vt();
+  }
   for (std::uint32_t slave = 0; slave < num_nodes_; ++slave) {
     if (slave == id_) continue;
     auto delta = take_delta_for(slave, Cache::kNodeLog, nullptr);
     ByteWriter w;
     w.u64(reinterpret_cast<std::uint64_t>(fn));
     w.bytes(arg, arg_size);
+    KnowledgeLog::serialize_vt(w, floor);
     KnowledgeLog::serialize_records(w, delta);
     sim::Message m;
     m.type = kFork;
@@ -1068,6 +1613,7 @@ void Node::fork_slaves(ForkFn fn, const void* arg, std::size_t arg_size) {
     m.payload = w.take();
     send_compute(std::move(m));
   }
+  if (rt_.config().gc_fork_join) gc_at_barrier(floor);
 }
 
 void Node::join_slaves() {
@@ -1097,7 +1643,15 @@ bool Node::slave_serve_one(Tmk& tmk) {
   ByteReader r(m.payload);
   auto fn = reinterpret_cast<ForkFn>(r.u64());
   std::vector<std::uint8_t> arg = r.bytes();
+  const VectorTime fork_floor = KnowledgeLog::deserialize_vt(r);
   arrive(m);
+
+  // Fork-point GC (compute thread, before the region body): with the fork
+  // delta merged, this node's knowledge dominates the piggybacked floor.
+  // The validation fetches are synchronous, so they are served before this
+  // slave can run the region and join — which is what lets every node
+  // reclaim its own ≤-previous-floor diffs at the *next* fork safely.
+  if (rt_.config().gc_fork_join) gc_at_barrier(fork_floor);
 
   fn(tmk, arg.data(), arg.size());
 

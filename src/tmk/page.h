@@ -221,6 +221,15 @@ struct PageEntry {
   // (every update_reprobe_epochs-th push — the ones in between validate
   // outright).  Reset on demotion.
   std::uint32_t pushes_since_probe = 0;
+
+  // ---- migratory lock push, holder side (guarded by mu) ----
+  // Armed by a lock-grant push: contents current, page deliberately left
+  // unmapped so the next access faults once, locally — the probe proving
+  // this holder still touches the lock's protected pages.  Judged at this
+  // node's release of the pushing lock (Node::lock_push_judge): still armed
+  // there means the whole critical section ran without touching the page,
+  // and the pusher is denied.
+  bool lock_push_armed = false;
 };
 
 }  // namespace now::tmk

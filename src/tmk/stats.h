@@ -32,6 +32,15 @@ struct DsmStatsSnapshot {
                                           // probe fault
   std::uint64_t update_demotions = 0;     // pages demoted to invalidate mode
                                           // by a reader's kUpdateDeny
+  std::uint64_t lock_pushes_sent = 0;     // kLockGrant messages that carried
+                                          // >= 1 migratory-pushed page
+  std::uint64_t lock_pages_pushed = 0;    // pages carried by those grants
+  std::uint64_t lock_push_hits = 0;       // pages a lock push made valid with
+                                          // no remote fetch: validated at the
+                                          // acquire or armed and consumed by
+                                          // a local probe fault
+  std::uint64_t lock_push_demotions = 0;  // pages demoted from a lock's
+                                          // protected set by kLockPushDeny
   std::uint64_t diffs_created = 0;
   std::uint64_t diffs_applied = 0;
   std::uint64_t diff_bytes_created = 0;
@@ -61,6 +70,10 @@ struct DsmStatsSnapshot {
     update_pages_pushed += o.update_pages_pushed;
     update_push_hits += o.update_push_hits;
     update_demotions += o.update_demotions;
+    lock_pushes_sent += o.lock_pushes_sent;
+    lock_pages_pushed += o.lock_pages_pushed;
+    lock_push_hits += o.lock_push_hits;
+    lock_push_demotions += o.lock_push_demotions;
     diffs_created += o.diffs_created;
     diffs_applied += o.diffs_applied;
     diff_bytes_created += o.diff_bytes_created;
@@ -93,6 +106,10 @@ struct DsmStats {
   std::atomic<std::uint64_t> update_pages_pushed{0};
   std::atomic<std::uint64_t> update_push_hits{0};
   std::atomic<std::uint64_t> update_demotions{0};
+  std::atomic<std::uint64_t> lock_pushes_sent{0};
+  std::atomic<std::uint64_t> lock_pages_pushed{0};
+  std::atomic<std::uint64_t> lock_push_hits{0};
+  std::atomic<std::uint64_t> lock_push_demotions{0};
   std::atomic<std::uint64_t> diffs_created{0};
   std::atomic<std::uint64_t> diffs_applied{0};
   std::atomic<std::uint64_t> diff_bytes_created{0};
@@ -122,6 +139,10 @@ struct DsmStats {
     s.update_pages_pushed = update_pages_pushed.load(std::memory_order_relaxed);
     s.update_push_hits = update_push_hits.load(std::memory_order_relaxed);
     s.update_demotions = update_demotions.load(std::memory_order_relaxed);
+    s.lock_pushes_sent = lock_pushes_sent.load(std::memory_order_relaxed);
+    s.lock_pages_pushed = lock_pages_pushed.load(std::memory_order_relaxed);
+    s.lock_push_hits = lock_push_hits.load(std::memory_order_relaxed);
+    s.lock_push_demotions = lock_push_demotions.load(std::memory_order_relaxed);
     s.diffs_created = diffs_created.load(std::memory_order_relaxed);
     s.diffs_applied = diffs_applied.load(std::memory_order_relaxed);
     s.diff_bytes_created = diff_bytes_created.load(std::memory_order_relaxed);

@@ -53,6 +53,66 @@ TEST(ConfigEnv, FlagParsesZeroAndNonzero) {
   EXPECT_FALSE(detail::env_flag(kVar, false));
 }
 
+// The lock-push and lock-chain/fork GC knobs ride the same hardened parser;
+// their env overrides must land in a freshly constructed DsmConfig.
+TEST(ConfigEnv, LockPushKnobsOverrideDefaults) {
+  EXPECT_EQ(DsmConfig{}.lock_push_bytes, 0u);  // default: push off
+  EXPECT_TRUE(DsmConfig{}.gc_fork_join);
+  EXPECT_TRUE(DsmConfig{}.gc_lock_floors);
+  {
+    ScopedEnv env("TMK_LOCK_PUSH_BYTES", "12288");
+    EXPECT_EQ(DsmConfig{}.lock_push_bytes, 12288u);
+    EXPECT_TRUE(DsmConfig{}.lock_push_enabled());
+  }
+  {
+    ScopedEnv env("TMK_LOCK_PUSH_PROBE", "5");
+    EXPECT_EQ(DsmConfig{}.lock_push_probe, 5u);
+  }
+  {
+    ScopedEnv env("TMK_LOCK_PUSH_REPROBE", "2");
+    EXPECT_EQ(DsmConfig{}.lock_push_reprobe, 2u);
+  }
+  {
+    ScopedEnv env("TMK_GC_FORK_JOIN", "0");
+    EXPECT_FALSE(DsmConfig{}.gc_fork_join);
+  }
+  {
+    ScopedEnv env("TMK_GC_LOCK_FLOORS", "0");
+    EXPECT_FALSE(DsmConfig{}.gc_lock_floors);
+  }
+}
+
+// An explicit field assignment still beats the env default, and the push
+// stays gated on the diff cache.
+TEST(ConfigEnv, LockPushExplicitAssignmentAndCacheGate) {
+  ScopedEnv env("TMK_LOCK_PUSH_BYTES", "12288");
+  DsmConfig c;
+  c.lock_push_bytes = 0;
+  EXPECT_FALSE(c.lock_push_enabled());
+  DsmConfig d;
+  d.diff_cache_bytes_per_page = 0;
+  EXPECT_FALSE(d.lock_push_enabled());  // pushes would have nowhere to park
+}
+
+TEST(ConfigEnvDeathTest, RejectsMalformedLockPushKnobs) {
+  {
+    ScopedEnv env("TMK_LOCK_PUSH_BYTES", "16k");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_LOCK_PUSH_BYTES");
+  }
+  {
+    ScopedEnv env("TMK_LOCK_PUSH_PROBE", " 8");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_LOCK_PUSH_PROBE");
+  }
+  {
+    ScopedEnv env("TMK_GC_LOCK_FLOORS", "yes");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_GC_LOCK_FLOORS");
+  }
+  {
+    ScopedEnv env("TMK_GC_FORK_JOIN", "99999999999999999999999999");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "overflows");
+  }
+}
+
 TEST(ConfigEnvDeathTest, RejectsTrailingGarbage) {
   ScopedEnv env(kVar, "16k");
   EXPECT_DEATH(detail::env_size(kVar, 7), "malformed NOW_TEST_ENV_SIZE_KNOB");

@@ -109,6 +109,74 @@ TEST(ForkJoin, ForkJoinMessageCount) {
   EXPECT_EQ(t.messages_by_type[kShutdown], n - 1);
 }
 
+void region_rewrite(Tmk& tmk, const void* raw, std::size_t) {
+  struct A {
+    gptr<std::uint64_t> data;
+    std::uint64_t round;
+  } arg;
+  std::memcpy(&arg, raw, sizeof arg);
+  // Each thread rewrites its slab and reads a neighbour's previous-round
+  // slab, so every region both creates diffs and learns records.
+  constexpr std::size_t kSlab = 256;
+  const std::size_t base = tmk.id() * kSlab;
+  for (std::size_t k = 0; k < kSlab; ++k)
+    arg.data[base + k] = arg.round * 1000 + tmk.id() * 10 + k;
+  const std::size_t peer = ((tmk.id() + 1) % tmk.nprocs()) * kSlab;
+  volatile std::uint64_t sink = arg.data[peer];
+  (void)sink;
+}
+
+// The fork after a join is a barrier-equivalent reclamation point: the
+// master's post-join vector time rides each kFork as a GC floor, so
+// fork/join-only programs (the OpenMP execution model — regions end in a
+// kJoin, never a Tmk barrier) reclaim knowledge-log records and diff-store
+// bytes instead of growing without bound.
+TEST(ForkJoin, ForkAfterJoinReclaims) {
+  struct A {
+    gptr<std::uint64_t> data;
+    std::uint64_t round;
+  };
+  constexpr std::uint64_t kRounds = 24;
+  auto program = [](Tmk& tmk) {
+    auto data = tmk.alloc_array<std::uint64_t>(4 * 256);
+    for (std::uint64_t r = 0; r < kRounds; ++r) {
+      A arg{data, r};
+      tmk.fork(&region_rewrite, &arg, sizeof arg);
+      region_rewrite(tmk, &arg, sizeof arg);
+      tmk.join();
+    }
+    for (std::uint32_t t = 0; t < 4; ++t)
+      EXPECT_EQ(data[t * 256 + 5], (kRounds - 1) * 1000 + t * 10 + 5);
+  };
+
+  DsmStatsSnapshot on, off;
+  std::size_t on_records = 0, off_records = 0;
+  {
+    auto c = cfg(4);
+    c.gc_fork_join = true;
+    DsmRuntime rt(c);
+    rt.run_master(program);
+    on = rt.total_stats();
+    for (std::uint32_t n = 0; n < 4; ++n)
+      on_records += rt.node(n).meta_footprint().log_records;
+  }
+  {
+    auto c = cfg(4);
+    c.gc_fork_join = false;
+    DsmRuntime rt(c);
+    rt.run_master(program);
+    off = rt.total_stats();
+    for (std::uint32_t n = 0; n < 4; ++n)
+      off_records += rt.node(n).meta_footprint().log_records;
+  }
+  EXPECT_EQ(off.gc_records_reclaimed, 0u);
+  EXPECT_GT(on.gc_records_reclaimed, 0u);
+  EXPECT_GT(on.gc_diff_bytes_reclaimed, 0u);
+  // With fork-point GC the logs plateau at roughly one region's worth of
+  // records; without it they grow linearly with the region count.
+  EXPECT_LT(4 * on_records, off_records);
+}
+
 void region_with_barrier(Tmk& tmk, const void* raw, std::size_t) {
   gptr<std::uint64_t> data;
   std::memcpy(&data, raw, sizeof data);

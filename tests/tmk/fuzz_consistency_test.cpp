@@ -3,13 +3,20 @@
 // lock-protected read-modify-writes over a shared region, and the final
 // region contents are compared byte-for-byte across the full protocol config
 // matrix {update on/off} x {prefetch 0/4} x {gc_at_barriers on/off} x
-// {diff cache on/off}, plus wide-prefetch (16) legs.
+// {diff cache on/off}, plus wide-prefetch (16) and lock-push legs.
 // Every run is also checked against a sequentially replayed model, so "all
 // configs equally wrong" cannot slip through.  The seed is printed on
 // failure; replay a specific one with
 //   NOW_FUZZ_SEED_BASE=<seed> NOW_FUZZ_SEEDS=1 ./tmk_fuzz_consistency_test
 // (NOW_FUZZ_SEEDS bounds the iteration count, e.g. for the sanitizer CI leg;
 // NOW_FUZZ_EPOCHS deepens a single schedule.)
+//
+// Lock-heavy mix: roughly a third of the epochs are *lock-only* — no data
+// writes, no barriers, no asserted reads, just rotating (and sometimes
+// nested, always in ascending lock order) lock-guarded counter increments.
+// These barrier-free stretches are exactly where the migratory lock push
+// and the lock-chain GC floors operate, with the grant chain as the only
+// carrier of consistency between handoffs.
 //
 // Determinism argument: per epoch, every data word has exactly one writer
 // (the schedule partitions words by owner), so epoch-final contents do not
@@ -34,6 +41,7 @@ constexpr std::size_t kWords = kDataPages * kWordsPerPage;
 constexpr std::size_t kCounters = 4;  // one lock-guarded counter per lock id
 constexpr std::size_t kMidReads = 24; // unasserted mid-epoch reads per node
 constexpr std::size_t kVerifyReads = 16;  // asserted post-barrier reads
+constexpr std::size_t kLockOnlyRounds = 3;  // CS rounds per lock-only epoch
 
 // Env knobs reuse the config-default override parser (empty == unset).
 using detail::env_size;
@@ -53,10 +61,16 @@ std::uint64_t mix(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
   return x;
 }
 
+// A lock-only epoch has no data writes, no barrier and no asserted reads:
+// only the lock chains carry consistency until the next normal epoch.
+bool lock_only(std::uint64_t seed, std::size_t e) {
+  return mix(seed, 9, e, 1) % 3 == 0;
+}
 std::uint32_t owner_of(std::uint64_t seed, std::size_t e, std::size_t w) {
   return static_cast<std::uint32_t>(mix(seed, 1, e, w) % kNodes);
 }
 bool writes(std::uint64_t seed, std::size_t e, std::size_t w) {
+  if (lock_only(seed, e)) return false;
   return mix(seed, 2, e, w) % 3 == 0;
 }
 std::uint64_t value_of(std::uint64_t seed, std::size_t e, std::size_t w) {
@@ -68,13 +82,53 @@ bool increments(std::uint64_t seed, std::size_t e, std::uint32_t node) {
 std::size_t counter_of(std::uint64_t seed, std::size_t e, std::uint32_t node) {
   return mix(seed, 5, e, node) % kCounters;
 }
+// Nested critical sections: a second, distinct counter taken while the
+// first's lock is held (always ascending lock order, so no deadlock).
+bool nests(std::uint64_t seed, std::size_t e, std::uint32_t node) {
+  return mix(seed, 10, e, node) % 3 == 0;
+}
+std::size_t second_counter_of(std::uint64_t seed, std::size_t e,
+                              std::uint32_t node, std::size_t first) {
+  return (first + 1 + mix(seed, 11, e, node) % (kCounters - 1)) % kCounters;
+}
+// Lock-only epochs run several rotating CS rounds per node.
+bool lo_increments(std::uint64_t seed, std::size_t e, std::size_t round,
+                   std::uint32_t node) {
+  return mix(seed, 12, e * 16 + round, node) % 4 != 0;
+}
+std::size_t lo_counter_of(std::uint64_t seed, std::size_t e, std::size_t round,
+                          std::uint32_t node) {
+  return mix(seed, 13, e * 16 + round, node) % kCounters;
+}
 
 struct FuzzConfig {
   std::size_t prefetch;
   bool gc;
   std::size_t cache_bytes;
   bool update;
+  std::size_t lock_push;  // lock_push_bytes; 0 = off
 };
+
+// One node's lock-guarded counter increment, optionally nested with a
+// second counter (ascending lock order).  Mirrored exactly by the model.
+void increment_counters(Tmk& tmk, gptr<std::uint64_t> counters,
+                        std::uint64_t seed, std::size_t e, std::uint32_t id) {
+  const std::size_t a = counter_of(seed, e, id);
+  if (nests(seed, e, id)) {
+    const std::size_t b = second_counter_of(seed, e, id, a);
+    const std::size_t lo = std::min(a, b), hi = std::max(a, b);
+    tmk.lock_acquire(static_cast<std::uint32_t>(lo));
+    tmk.lock_acquire(static_cast<std::uint32_t>(hi));
+    counters[a] += id + 1;
+    counters[b] += id + 2;
+    tmk.lock_release(static_cast<std::uint32_t>(hi));
+    tmk.lock_release(static_cast<std::uint32_t>(lo));
+  } else {
+    tmk.lock_acquire(static_cast<std::uint32_t>(a));
+    counters[a] += id + 1;
+    tmk.lock_release(static_cast<std::uint32_t>(a));
+  }
+}
 
 // Final contents of the whole shared region (data pages + counter page),
 // captured on node 0 after the last barrier.
@@ -87,6 +141,7 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
   c.gc_at_barriers = fc.gc;
   c.diff_cache_bytes_per_page = fc.cache_bytes;
   c.update_mode = fc.update;
+  c.lock_push_bytes = fc.lock_push;
   c.time.cpu_scale = 0.0;
 
   std::vector<std::uint64_t> final_words(kWords + kWordsPerPage, 0);
@@ -98,6 +153,23 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
     std::uint64_t sink = 0;
 
     for (std::size_t e = 0; e < epochs; ++e) {
+      if (lock_only(seed, e)) {
+        // Barrier-free stretch: rotating lock ownership only (plus stale
+        // mid-epoch reads).  Word owners cannot change hands here — the
+        // schedule writes data only in barrier-separated epochs.
+        for (std::size_t round = 0; round < kLockOnlyRounds; ++round) {
+          for (std::size_t i = 0; i < kMidReads / kLockOnlyRounds; ++i)
+            sink += data[mix(seed, 4, e, id * 1000 + round * 100 + i) % kWords];
+          if (lo_increments(seed, e, round, id)) {
+            const std::size_t ctr = lo_counter_of(seed, e, round, id);
+            tmk.lock_acquire(static_cast<std::uint32_t>(ctr));
+            counters[ctr] += id + 1;
+            tmk.lock_release(static_cast<std::uint32_t>(ctr));
+          }
+        }
+        continue;
+      }
+
       // Race-free writes: each word has exactly one owner this epoch.
       for (std::size_t w = 0; w < kWords; ++w)
         if (owner_of(seed, e, w) == id && writes(seed, e, w))
@@ -107,14 +179,10 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
       for (std::size_t i = 0; i < kMidReads; ++i)
         sink += data[mix(seed, 4, e, id * 1000 + i) % kWords];
 
-      // Lock-guarded counter increment (commutative, so the final value is
-      // interleaving-independent); the grant chain ships record deltas.
-      if (increments(seed, e, id)) {
-        const std::size_t ctr = counter_of(seed, e, id);
-        tmk.lock_acquire(static_cast<std::uint32_t>(ctr));
-        counters[ctr] += id + 1;
-        tmk.lock_release(static_cast<std::uint32_t>(ctr));
-      }
+      // Lock-guarded counter increments (commutative, so the final value is
+      // interleaving-independent); the grant chain ships record deltas and,
+      // with lock_push on, the diffs themselves.
+      if (increments(seed, e, id)) increment_counters(tmk, counters, seed, e, id);
 
       tmk.barrier();
 
@@ -129,11 +197,15 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
           }
         ASSERT_EQ(data[w], want)
             << "seed=" << seed << " node=" << id << " epoch=" << e << " word="
-            << w << " (replay: NOW_FUZZ_SEED_BASE=" << seed
+            << w << " lockpush=" << fc.lock_push
+            << " (replay: NOW_FUZZ_SEED_BASE=" << seed
             << " NOW_FUZZ_SEEDS=1)";
       }
       tmk.barrier();
     }
+    // A trailing barrier: the last epochs may have been lock-only, and the
+    // capture below must observe every chain's increments.
+    tmk.barrier();
     if (sink == static_cast<std::uint64_t>(-1)) std::abort();  // keep reads live
 
     if (id == 0) {
@@ -153,16 +225,23 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
   // Full cross at prefetch {0, 4}; the wide 16-page window re-tests the
   // prefetch batching against each GC mode (cache-off legs would be
   // redundant: prefetch is inert without the cache), so it rides as four
-  // extra legs instead of doubling the whole matrix.
+  // extra legs instead of doubling the whole matrix.  Lock push likewise
+  // needs the cache, so its legs ride the cache-on cross of
+  // {prefetch 0/4} x {gc on/off} plus two update-mode legs.
   std::vector<FuzzConfig> matrix;
   for (bool update : {false, true})
     for (std::size_t prefetch : {std::size_t{0}, std::size_t{4}})
       for (bool gc : {false, true})
         for (std::size_t cache : {std::size_t{0}, std::size_t{16 * 1024}})
-          matrix.push_back({prefetch, gc, cache, update});
+          matrix.push_back({prefetch, gc, cache, update, 0});
   for (bool update : {false, true})
     for (bool gc : {false, true})
-      matrix.push_back({16, gc, 16 * 1024, update});
+      matrix.push_back({16, gc, 16 * 1024, update, 0});
+  for (std::size_t prefetch : {std::size_t{0}, std::size_t{4}})
+    for (bool gc : {false, true})
+      matrix.push_back({prefetch, gc, 16 * 1024, false, 16 * 1024});
+  for (bool gc : {false, true})
+    matrix.push_back({4, gc, 16 * 1024, true, 16 * 1024});
 
   for (std::size_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = seed_base + s;
@@ -170,18 +249,29 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
     // Host-side sequential replay: the one truth every config must match.
     std::vector<std::uint64_t> model(kWords + kWordsPerPage, 0);
     for (std::size_t e = 0; e < epochs; ++e) {
+      if (lock_only(seed, e)) {
+        for (std::size_t round = 0; round < kLockOnlyRounds; ++round)
+          for (std::uint32_t node = 0; node < kNodes; ++node)
+            if (lo_increments(seed, e, round, node))
+              model[kWords + lo_counter_of(seed, e, round, node)] += node + 1;
+        continue;
+      }
       for (std::size_t w = 0; w < kWords; ++w)
         if (writes(seed, e, w)) model[w] = value_of(seed, e, w);
-      for (std::uint32_t node = 0; node < kNodes; ++node)
-        if (increments(seed, e, node))
-          model[kWords + counter_of(seed, e, node)] += node + 1;
+      for (std::uint32_t node = 0; node < kNodes; ++node) {
+        if (!increments(seed, e, node)) continue;
+        const std::size_t a = counter_of(seed, e, node);
+        model[kWords + a] += node + 1;
+        if (nests(seed, e, node))
+          model[kWords + second_counter_of(seed, e, node, a)] += node + 2;
+      }
     }
 
     for (const FuzzConfig& fc : matrix) {
       SCOPED_TRACE(::testing::Message()
                    << "seed=" << seed << " prefetch=" << fc.prefetch
                    << " gc=" << fc.gc << " cache=" << fc.cache_bytes
-                   << " update=" << fc.update
+                   << " update=" << fc.update << " lockpush=" << fc.lock_push
                    << " (replay: NOW_FUZZ_SEED_BASE=" << seed
                    << " NOW_FUZZ_SEEDS=1)");
       const auto got = run_fuzz(fc, seed, epochs);
