@@ -5,9 +5,11 @@
 // argument of Section 3.2.4: "For n threads a total of 2(n-1) messages are
 // sent [per flush] ... Semaphores and condition variables can be implemented
 // with a small constant number of messages."
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
+#include "tmk/topology.h"
 
 using namespace now;
 using namespace now::bench;
@@ -119,7 +121,44 @@ int main() {
     t.print(std::cout);
   }
 
+  // Barrier fabric: the centralized manager's per-barrier load grows 2n+2
+  // while the combining tree's busiest node stays flat (see bench_scaling
+  // --json for the full 8..256 curve that CI gates).
+  {
+    std::cout << "\nBarrier fabric: per-barrier messages at the busiest node:\n";
+    Table t({"n nodes", "centralized", "tree arity 2", "tree hops"});
+    for (std::uint32_t n : {8u, 16u, 32u}) {
+      auto busiest = [&](std::uint32_t arity) {
+        tmk::DsmConfig c = dsm_cfg(n);
+        c.heap_bytes = 2 << 20;
+        c.barrier_tree_arity = arity;
+        tmk::DsmRuntime rt(c);
+        constexpr std::uint64_t kBarriers = 8;
+        rt.run_spmd([](tmk::Tmk& tmk) {
+          for (std::uint64_t b = 0; b < kBarriers; ++b) tmk.barrier();
+        });
+        std::uint64_t mx = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const auto s = rt.node(i).stats().snapshot();
+          mx = std::max(mx,
+                        (s.barrier_msgs_sent + s.barrier_msgs_recv) / kBarriers);
+        }
+        return mx;
+      };
+      const tmk::SyncTopology topo = [&] {
+        tmk::DsmConfig c = dsm_cfg(n);
+        c.barrier_tree_arity = 2;
+        return tmk::SyncTopology(c);
+      }();
+      t.add_row({Table::fmt(static_cast<std::uint64_t>(n)),
+                 Table::fmt(busiest(0)), Table::fmt(busiest(2)),
+                 Table::fmt(static_cast<std::uint64_t>(topo.critical_path_hops()))});
+    }
+    t.print(std::cout);
+  }
+
   std::cout << "\n(expected: flush messages grow as 2(n-1); semaphores stay"
-               "\n constant and the sema pipeline sends fewer messages)\n";
+               "\n constant, the sema pipeline sends fewer messages, and the"
+               "\n tree barrier's busiest node stays flat as n grows)\n";
   return 0;
 }

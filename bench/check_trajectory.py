@@ -19,6 +19,7 @@ regressed or the baseline is stale).
 """
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -111,8 +112,59 @@ def main():
             else:
                 print("  ok   " + line)
 
+    # Sync-fabric scaling: per-node per-barrier fabric message load by node
+    # count, from `bench_scaling --json` against baselines/sync_scaling.json.
+    # These are deterministic virtual-network counts, so two gates apply:
+    #  - absolute: per_node_max at every node count within tolerance
+    #    (exceeding it is a regression — message load only gets gated up);
+    #  - growth: a fabric marked log_growth must not grow faster than
+    #    O(log N) between consecutive points, i.e. the measured ratio
+    #    m(N2)/m(N1) must stay within (1+tol) of log(N2)/log(N1).  The
+    #    centralized fabric (2N+2 at the root) fails this by an order of
+    #    magnitude, which is exactly the check's calibration.
+    sync_base = (baseline.get("sync_scaling") or {}).get("fabrics", {})
+    sync_meas = (measured.get("sync_scaling") or {}).get("fabrics", {})
+    for fname, fbase in sync_base.items():
+        if fname not in sync_meas:
+            failures.append("sync fabric %r missing from bench_scaling output"
+                            % fname)
+            continue
+        meas_pts = {int(p["nodes"]): p for p in sync_meas[fname].get("points", [])}
+        tol = float(fbase.get("tolerance", baseline.get("default_tolerance", 0.25)))
+        prev = None  # (nodes, measured per_node_max)
+        for bp in fbase.get("points", []):
+            n = int(bp["nodes"])
+            if n not in meas_pts:
+                failures.append("sync fabric %r: node count %d missing from "
+                                "bench_scaling output" % (fname, n))
+                continue
+            got = float(meas_pts[n]["per_node_max"])
+            want = float(bp["per_node_max"])
+            lo, hi = want * (1.0 - tol), want * (1.0 + tol)
+            line = "%-12s n=%-4d per-node msgs/barrier %7.1f  (baseline %.1f, " \
+                   "allowed [%.1f, %.1f])" % (fname, n, got, want, lo, hi)
+            if got > hi:
+                failures.append("REGRESSION: " + line)
+            elif got < lo:
+                warnings.append("improved past tolerance: " + line +
+                                " — refresh the baseline (--update)")
+                print("  WARN " + line)
+            else:
+                print("  ok   " + line)
+            if fbase.get("log_growth") and prev is not None:
+                pn, pgot = prev
+                allowed = (math.log(n) / math.log(pn)) * (1.0 + tol)
+                ratio = got / pgot if pgot > 0 else float("inf")
+                gline = "%-12s n=%d->%d growth %5.2fx  (O(log N) allows %.2fx)" % (
+                    fname, pn, n, ratio, allowed)
+                if ratio > allowed:
+                    failures.append("SUPER-LOGARITHMIC GROWTH: " + gline)
+                else:
+                    print("  ok   " + gline)
+            prev = (n, got)
+
     if args.update:
-        for name, base_case in baseline["cases"].items():
+        for name, base_case in baseline.get("cases", {}).items():
             if name in cases:
                 base_case["speedup"] = round(float(cases[name]["speedup"]), 2)
         for section in ("update_push", "lock_push"):
@@ -120,7 +172,15 @@ def main():
             for name, base_case in baseline.get(section, {}).items():
                 if name in sec_measured:
                     base_case["value"] = round(float(sec_measured[name]), 2)
-        baseline["page_size"] = measured.get("page_size", baseline.get("page_size"))
+        for fname, fbase in sync_base.items():
+            meas_pts = {int(p["nodes"]): p
+                        for p in sync_meas.get(fname, {}).get("points", [])}
+            for bp in fbase.get("points", []):
+                if int(bp["nodes"]) in meas_pts:
+                    bp["per_node_max"] = meas_pts[int(bp["nodes"])]["per_node_max"]
+        if "page_size" in measured or "page_size" in baseline:
+            baseline["page_size"] = measured.get("page_size",
+                                                 baseline.get("page_size"))
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2)
             f.write("\n")

@@ -193,6 +193,31 @@ struct DsmConfig {
   std::size_t diff_cache_bytes_per_page =
       detail::env_size("TMK_DIFF_CACHE_BYTES", 16 * 1024);
 
+  // Combining-tree barrier fabric.  0 (the default) keeps the centralized
+  // barrier: every node arrives directly at the root, which is exactly a
+  // depth-1 tree — any arity >= num_nodes - 1 produces the same shape, so
+  // the centralized path is not a separate code path but the flat corner of
+  // the tree.  An arity in [1, num_nodes - 2] builds a static heap-indexed
+  // tree: arrivals fold min vector times, GC floors and interval deltas
+  // pairwise up it, departures fan the combined floor and records back
+  // down, and the O(N) in/out storm at node 0 becomes O(arity) per node
+  // with an O(log_arity N)-hop critical path.  Default overridable via
+  // TMK_BARRIER_ARITY.
+  std::uint32_t barrier_tree_arity = static_cast<std::uint32_t>(
+      detail::env_size("TMK_BARRIER_ARITY", 0));
+
+  // Shard lock/sema/cond manager placement by a mixing hash of the id
+  // instead of `id % num_nodes`.  Programs overwhelmingly number their
+  // synchronization objects densely from 0, so the modulo already spreads
+  // *counts* evenly — but it pins every hot low-numbered object (lock 0 is
+  // the work-queue lock in TSP and QSORT) onto the same low-numbered nodes
+  // that also root the barrier tree and serve allocations.  The hash
+  // decorrelates manager placement from id assignment so no node owns all
+  // migratory chains.  Off by default (the modulo is the paper's static
+  // placement); CI's treesync leg runs the whole suite with it on.  Default
+  // overridable via TMK_SHARD_MANAGERS.
+  bool shard_managers = detail::env_flag("TMK_SHARD_MANAGERS", false);
+
   // When true, each service-thread request handled also injects a random
   // short host-level delay, shaking out message-ordering assumptions in
   // stress tests.  Never enabled in benchmarks.

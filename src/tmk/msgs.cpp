@@ -30,6 +30,8 @@ const char* msg_type_name(std::uint16_t t) {
     case kUpdatePush: return "update_push";
     case kUpdateDeny: return "update_deny";
     case kLockPushDeny: return "lock_push_deny";
+    case kTreeArrive: return "tree_arrive";
+    case kTreeDepart: return "tree_depart";
     default: return "unknown";
   }
 }

@@ -74,6 +74,18 @@ enum MsgType : std::uint16_t {
   // the pusher, demoting the page from the lock's protected set.
   kLockPushDeny = 26,  // holder -> pusher: lock + pages whose pushes were dead
 
+  // Combining-tree barrier fabric (barrier_tree_arity >= 1).  A combining
+  // point that has collected its whole fan-in (children subtrees + its own
+  // compute thread's kBarrierArrive) folds them and forwards one message to
+  // its parent; the root's departure wave retraces the tree.  Distinct from
+  // kBarrierArrive/kBarrierDepart because an interior node's service thread
+  // originates these itself — they are not rpc requests and carry a folded
+  // subtree vector time, not a single node's.
+  kTreeArrive = 27,  // combining point -> parent: folded min vt + mgr-log
+                     // GC floor + mgr-log record delta (release, combined)
+  kTreeDepart = 28,  // parent -> combining point: global floor + records
+                     // the subtree fold was missing (acquire, fanned down)
+
   kNumMsgTypes
 };
 

@@ -240,7 +240,18 @@ class Node {
   void on_lock_push_deny(sim::Message&& m);  // demote protected-set pages
   void on_lock_acquire(sim::Message&& m);   // manager duty
   void on_lock_forward(sim::Message&& m);   // holder duty
-  void on_barrier_arrive(sim::Message&& m); // manager duty (node 0)
+  void on_barrier_arrive(sim::Message&& m); // combining-point duty
+  void on_tree_arrive(sim::Message&& m);    // combining-point duty: a child
+                                            // subtree's folded arrival
+  void on_tree_depart(sim::Message&& m);    // combining-point duty: the
+                                            // departure wave fanning down
+  // Shared tail of the arrival handlers: once the fan-in is complete, fold
+  // the subtree and forward up (interior) or establish the global floor and
+  // start the departure wave (root).
+  void tree_barrier_advance();
+  // Sends every parked arrival its departure (kBarrierDepart for rpc
+  // arrivals, kTreeDepart for child combining points) and clears the slate.
+  void tree_barrier_fan_down(const VectorTime& floor, std::uint64_t depart_ts);
   void on_sema_signal(sim::Message&& m);    // manager duty
   void on_sema_wait(sim::Message&& m);      // manager duty
   void on_cond_wait(sim::Message&& m);      // manager duty
@@ -431,9 +442,16 @@ class Node {
   struct BarrierMgrState {
     struct Arrival {
       std::uint32_t node;
+      // A single node's vector time (rpc arrival) or the min fold over a
+      // child subtree (kTreeArrive): either way, every record the arrival's
+      // subtree could be missing is above it, so the departure's delta is
+      // cut from it.
       VectorTime vt;
-      std::uint64_t rpc_seq;
+      std::uint64_t rpc_seq;   // meaningful only when !via_tree
       std::uint64_t arrive_ts;
+      // Whether the departure goes back as kTreeDepart (child combining
+      // point) or as the kBarrierDepart rpc reply (leaf or own compute).
+      bool via_tree = false;
     };
     std::vector<Arrival> arrivals;
   };
@@ -446,6 +464,11 @@ class Node {
     BarrierMgrState barrier;
   };
   MgrState mgr_;
+  // What this combining point's parent already holds of mgr_.log (service
+  // thread only): kTreeArrive deltas are cut from it, like the per-peer
+  // sent-caches but for the tree edge.  Reset to the full log vt whenever a
+  // departure proves the parent caught up globally.
+  VectorTime tree_sent_up_vt_;
 
   // ---- fork-join plumbing ----
   WaitSlot fork_slot_;   // slave: next kFork / kShutdown

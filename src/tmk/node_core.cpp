@@ -20,6 +20,7 @@ Node::Node(DsmRuntime& rt, std::uint32_t id)
       sent_mgr_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
       gc_floor_applied_(num_nodes_, 0),
       mgr_(num_nodes_),
+      tree_sent_up_vt_(num_nodes_, 0),
       stress_rng_(rt.config().stress_seed + id) {}
 
 Node::~Node() = default;

@@ -81,6 +81,8 @@ void Node::handle_message(sim::Message&& m) {
     case kLockAcquire: on_lock_acquire(std::move(m)); return;
     case kLockForward: on_lock_forward(std::move(m)); return;
     case kBarrierArrive: on_barrier_arrive(std::move(m)); return;
+    case kTreeArrive: on_tree_arrive(std::move(m)); return;
+    case kTreeDepart: on_tree_depart(std::move(m)); return;
     case kSemaSignal: on_sema_signal(std::move(m)); return;
     case kSemaWait: on_sema_wait(std::move(m)); return;
     case kCondWait: on_cond_wait(std::move(m)); return;

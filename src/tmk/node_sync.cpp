@@ -46,8 +46,11 @@ void Node::barrier() {
   // before the manager's departure releases that reader.
   if (update_on) update_push_promoted(epoch_done);
 
-  const std::uint32_t mgr = rt_.barrier_manager();
-  auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
+  // Arrive at the tree owner: this node's own service thread when it is a
+  // combining point, its parent when it is a leaf.  The flat (centralized)
+  // tree makes that node 0 for everyone — today's manager.
+  const std::uint32_t owner = rt_.topology().barrier_owner(id_);
+  auto delta = take_delta_for(owner, Cache::kMgrLog, nullptr);
   ByteWriter w;
   VectorTime vt;
   VectorTime floor_applied;
@@ -64,7 +67,9 @@ void Node::barrier() {
   KnowledgeLog::serialize_vt(w, floor_applied);
   KnowledgeLog::serialize_records(w, delta);
 
-  sim::Message reply = rpc_call(mgr, kBarrierArrive, w.take());
+  stats_.barrier_msgs_sent.fetch_add(1, std::memory_order_relaxed);
+  sim::Message reply = rpc_call(owner, kBarrierArrive, w.take());
+  stats_.barrier_msgs_recv.fetch_add(1, std::memory_order_relaxed);
   ByteReader r(reply.payload);
   const VectorTime floor = KnowledgeLog::deserialize_vt(r);
   merge_and_invalidate(KnowledgeLog::deserialize_records(r));
@@ -76,48 +81,127 @@ void Node::barrier() {
 }
 
 void Node::on_barrier_arrive(sim::Message&& m) {
+  stats_.barrier_msgs_recv.fetch_add(1, std::memory_order_relaxed);
   ByteReader r(m.payload);
   BarrierMgrState::Arrival a;
   a.node = m.src;
   a.vt = KnowledgeLog::deserialize_vt(r);
   a.rpc_seq = m.seq;
   a.arrive_ts = m.arrive_ts_ns;
+  a.via_tree = false;
   mgr_gc_to(KnowledgeLog::deserialize_vt(r));
   mgr_.log.merge(KnowledgeLog::deserialize_records(r));
   mgr_.barrier.arrivals.push_back(std::move(a));
+  tree_barrier_advance();
+}
 
-  if (mgr_.barrier.arrivals.size() < num_nodes_) return;
+void Node::on_tree_arrive(sim::Message&& m) {
+  // A child combining point's folded subtree arrival.  Same shape as a
+  // direct arrival — (vt, floor, records) — except the vt is the min fold
+  // over the subtree and the floor is the child's manager-log floor (the
+  // max of everything its subtree announced), so raising ours to it keeps
+  // the delta's contiguity exactly as a single sender's floor would.
+  stats_.barrier_msgs_recv.fetch_add(1, std::memory_order_relaxed);
+  ByteReader r(m.payload);
+  BarrierMgrState::Arrival a;
+  a.node = m.src;
+  a.vt = KnowledgeLog::deserialize_vt(r);
+  a.rpc_seq = 0;
+  a.arrive_ts = m.arrive_ts_ns;
+  a.via_tree = true;
+  mgr_gc_to(KnowledgeLog::deserialize_vt(r));
+  mgr_.log.merge(KnowledgeLog::deserialize_records(r));
+  mgr_.barrier.arrivals.push_back(std::move(a));
+  tree_barrier_advance();
+}
 
-  std::uint64_t depart_ts = 0;
+void Node::tree_barrier_advance() {
+  const SyncTopology& topo = rt_.topology();
+  if (mgr_.barrier.arrivals.size() < topo.barrier_fanin(id_)) return;
+
+  std::uint64_t fold_ts = 0;
   for (const auto& arr : mgr_.barrier.arrivals)
-    depart_ts = std::max(depart_ts, arr.arrive_ts);
-  depart_ts += static_cast<std::uint64_t>(rt_.config().barrier_manager_us * 1000.0);
+    fold_ts = std::max(fold_ts, arr.arrive_ts);
+  fold_ts += static_cast<std::uint64_t>(rt_.config().barrier_manager_us * 1000.0);
 
-  // The GC floor: the minimal vector time across all arrivals.  Every node's
-  // knowledge dominated it when it arrived, so records at or below it can be
-  // reclaimed everywhere; it rides on each departure message.
-  VectorTime floor = mgr_.barrier.arrivals.front().vt;
-  for (const auto& arr : mgr_.barrier.arrivals) floor = vt_min(std::move(floor), arr.vt);
+  // The fold: the minimal vector time across this subtree.  At the root
+  // that *is* the GC floor — every node's knowledge dominated it when it
+  // arrived, so records at or below it can be reclaimed everywhere.
+  VectorTime fold = mgr_.barrier.arrivals.front().vt;
+  for (const auto& arr : mgr_.barrier.arrivals) fold = vt_min(std::move(fold), arr.vt);
+
+  if (id_ != topo.barrier_root()) {
+    // Interior: forward one combined arrival to the parent and keep the
+    // subtree parked until its departure wave comes back down.  The
+    // announced floor is this manager log's own floor (already the max of
+    // every floor the subtree announced, via mgr_gc_to above), and the
+    // delta is cut against what the parent already holds of this log.
+    VectorTime mgr_floor(num_nodes_, 0);
+    for (std::uint32_t i = 0; i < num_nodes_; ++i)
+      mgr_floor[i] = mgr_.log.gc_floor(i);
+    ByteWriter w;
+    KnowledgeLog::serialize_vt(w, fold);
+    KnowledgeLog::serialize_vt(w, mgr_floor);
+    KnowledgeLog::serialize_records(
+        w, mgr_.log.delta_since(vt_max(std::move(mgr_floor), tree_sent_up_vt_)));
+    tree_sent_up_vt_ = mgr_.log.vt();
+    sim::Message up;
+    up.type = kTreeArrive;
+    up.src = id_;
+    up.dst = topo.barrier_parent(id_);
+    up.send_ts_ns = fold_ts;
+    up.payload = w.take();
+    stats_.barrier_msgs_sent.fetch_add(1, std::memory_order_relaxed);
+    rt_.net().send(std::move(up));
+    return;
+  }
+
+  // Root: the fold over every arrival is the global floor.
   if (rt_.config().gc_at_barriers) {
-    const std::size_t dropped = mgr_.log.gc_to(floor);
+    const std::size_t dropped = mgr_.log.gc_to(fold);
     if (dropped)
       stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
   }
+  tree_barrier_fan_down(fold, fold_ts);
+}
 
+void Node::tree_barrier_fan_down(const VectorTime& floor, std::uint64_t depart_ts) {
   for (const auto& arr : mgr_.barrier.arrivals) {
+    // Cut from the arrival's (folded) vector time: a superset of what each
+    // subtree member is missing, deduplicated by merge() downstream.
     ByteWriter w;
     KnowledgeLog::serialize_vt(w, floor);
     KnowledgeLog::serialize_records(w, mgr_.log.delta_since(arr.vt));
     sim::Message depart;
-    depart.type = kBarrierDepart;
+    depart.type = arr.via_tree ? kTreeDepart : kBarrierDepart;
     depart.src = id_;
     depart.dst = arr.node;
     depart.seq = arr.rpc_seq;
     depart.send_ts_ns = depart_ts;
     depart.payload = w.take();
+    stats_.barrier_msgs_sent.fetch_add(1, std::memory_order_relaxed);
     rt_.net().send(std::move(depart));
   }
   mgr_.barrier.arrivals.clear();
+}
+
+void Node::on_tree_depart(sim::Message&& m) {
+  // The departure wave reaching this combining point: learn the global
+  // floor and every record the subtree fold was missing, then fan the same
+  // (floor, per-arrival delta) shape down to the parked arrivals.  After
+  // the merge this log holds the global record set, and the parent that
+  // sent it holds at least as much — so the sent-up cache jumps to the
+  // full log vt, not just past the records actually shipped up.
+  stats_.barrier_msgs_recv.fetch_add(1, std::memory_order_relaxed);
+  ByteReader r(m.payload);
+  const VectorTime floor = KnowledgeLog::deserialize_vt(r);
+  if (rt_.config().gc_at_barriers) mgr_gc_to(floor);
+  mgr_.log.merge(KnowledgeLog::deserialize_records(r));
+  tree_sent_up_vt_ = mgr_.log.vt();
+  const std::uint64_t depart_ts =
+      m.arrive_ts_ns +
+      static_cast<std::uint64_t>(rt_.config().barrier_manager_us * 1000.0);
+  tree_barrier_fan_down(floor, depart_ts);
 }
 
 // ---------------------------------------------------------------------------
@@ -726,7 +810,7 @@ void Node::lock_acquire(std::uint32_t lock_id) {
   }
   sim::Message m;
   m.type = kLockAcquire;
-  m.dst = rt_.lock_manager(lock_id);
+  m.dst = rt_.topology().lock_manager(lock_id);
   m.payload = w.take();
   send_compute(std::move(m));
 
@@ -1338,7 +1422,7 @@ void Node::sema_wait(std::uint32_t sema_id) {
     std::lock_guard<std::mutex> lock(meta_mu_);
     KnowledgeLog::serialize_vt(w, log_.vt());
   }
-  sim::Message reply = rpc_call(rt_.sema_manager(sema_id), kSemaWait, w.take());
+  sim::Message reply = rpc_call(rt_.topology().sema_manager(sema_id), kSemaWait, w.take());
   ByteReader r(reply.payload);
   merge_and_invalidate(KnowledgeLog::deserialize_records(r));
 }
@@ -1347,7 +1431,7 @@ void Node::sema_signal(std::uint32_t sema_id) {
   sync_cpu();
   stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
   close_interval();
-  const std::uint32_t mgr = rt_.sema_manager(sema_id);
+  const std::uint32_t mgr = rt_.topology().sema_manager(sema_id);
   auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
   ByteWriter w;
   w.u32(sema_id);
@@ -1432,7 +1516,7 @@ void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
   // Register at the manager FIRST: the wait message reaches the manager's
   // mailbox before any signal that the lock's next holder could issue, which
   // is what makes release-and-wait atomic (no lost wakeups).
-  const std::uint32_t mgr = rt_.lock_manager(lock_id);
+  const std::uint32_t mgr = rt_.topology().lock_manager(lock_id);
   auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
   ByteWriter w;
   w.u32(lock_id);
@@ -1490,7 +1574,7 @@ void Node::cond_notify(std::uint32_t lock_id, std::uint32_t cond_id, bool broadc
   stats_.cond_ops.fetch_add(1, std::memory_order_relaxed);
   // The signal itself is not a release of the lock, but the manager's later
   // grants are built from its log, so ship our release chain along.
-  const std::uint32_t mgr = rt_.lock_manager(lock_id);
+  const std::uint32_t mgr = rt_.topology().lock_manager(lock_id);
   close_interval();
   auto delta = take_delta_for(mgr, Cache::kMgrLog, nullptr);
   ByteWriter w;
@@ -1658,12 +1742,12 @@ bool Node::slave_serve_one(Tmk& tmk) {
   sync_cpu();
   close_interval();
   epoch_dirty_.clear();  // join: barrier-free release point, see fork_slaves
-  auto delta = take_delta_for(rt_.master_node(), Cache::kNodeLog, nullptr);
+  auto delta = take_delta_for(rt_.topology().master_node(), Cache::kNodeLog, nullptr);
   ByteWriter w;
   KnowledgeLog::serialize_records(w, delta);
   sim::Message join;
   join.type = kJoin;
-  join.dst = rt_.master_node();
+  join.dst = rt_.topology().master_node();
   join.payload = w.take();
   send_compute(std::move(join));
   return true;
@@ -1695,7 +1779,7 @@ std::uint64_t Node::shared_malloc(std::size_t bytes, std::size_t align) {
   ByteWriter w;
   w.u64(bytes);
   w.u64(align);
-  sim::Message reply = rpc_call(rt_.alloc_server(), kAllocRequest, w.take());
+  sim::Message reply = rpc_call(rt_.topology().alloc_server(), kAllocRequest, w.take());
   ByteReader r(reply.payload);
   return r.u64();
 }
@@ -1704,7 +1788,7 @@ void Node::shared_free(std::uint64_t offset) {
   sync_cpu();
   ByteWriter w;
   w.u64(offset);
-  rpc_call(rt_.alloc_server(), kFreeRequest, w.take());
+  rpc_call(rt_.topology().alloc_server(), kFreeRequest, w.take());
 }
 
 }  // namespace now::tmk

@@ -10,6 +10,7 @@ namespace now::tmk {
 
 DsmRuntime::DsmRuntime(DsmConfig cfg)
     : cfg_(cfg),
+      topo_(cfg),
       arena_(cfg.num_nodes, cfg.heap_bytes),
       net_(cfg.num_nodes, cfg.net) {
   nodes_.reserve(cfg_.num_nodes);
@@ -46,7 +47,7 @@ void DsmRuntime::run_spmd(const std::function<void(Tmk&)>& fn) {
 
 void DsmRuntime::run_master(const std::function<void(Tmk&)>& program) {
   run_spmd([this, &program](Tmk& tmk) {
-    if (tmk.id() == master_node()) {
+    if (tmk.id() == topo_.master_node()) {
       program(tmk);
       tmk.node.shutdown_slaves();
     } else {

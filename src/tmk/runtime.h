@@ -22,6 +22,7 @@
 #include "tmk/gptr.h"
 #include "tmk/node.h"
 #include "tmk/stats.h"
+#include "tmk/topology.h"
 
 namespace now::tmk {
 
@@ -99,16 +100,9 @@ class DsmRuntime {
   sim::Network& net() { return net_; }
   Node& node(std::uint32_t id) { return *nodes_[id]; }
 
-  // Manager placement (static, as in TreadMarks).
-  std::uint32_t barrier_manager() const { return 0; }
-  std::uint32_t master_node() const { return 0; }
-  std::uint32_t alloc_server() const { return 0; }
-  std::uint32_t lock_manager(std::uint32_t lock_id) const {
-    return lock_id % cfg_.num_nodes;
-  }
-  std::uint32_t sema_manager(std::uint32_t sema_id) const {
-    return sema_id % cfg_.num_nodes;
-  }
+  // Manager placement, all of it: barrier tree, lock/sema shards, master
+  // and allocation duties.  No call site may assume node 0.
+  const SyncTopology& topology() const { return topo_; }
 
   // SIGSEGV dispatch (called by the installed handler).
   void handle_fault(void* addr);
@@ -134,6 +128,7 @@ class DsmRuntime {
 
  private:
   DsmConfig cfg_;
+  SyncTopology topo_;
   Arena arena_;
   sim::Network net_;
   std::vector<std::unique_ptr<Node>> nodes_;

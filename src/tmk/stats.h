@@ -52,6 +52,17 @@ struct DsmStatsSnapshot {
   std::uint64_t lock_acquires = 0;
   std::uint64_t lock_acquires_cached = 0;  // satisfied locally (node was tail)
   std::uint64_t barriers = 0;
+  std::uint64_t barrier_msgs_sent = 0;  // barrier-fabric messages this node
+                                        // sent: kBarrierArrive/kBarrierDepart
+                                        // + kTreeArrive/kTreeDepart (self-
+                                        // sends included — the flat tree's
+                                        // root arrives at itself)
+  std::uint64_t barrier_msgs_recv = 0;  // ...and received.  max over nodes of
+                                        // (sent+recv)/barriers is the per-
+                                        // barrier fabric load the scaling
+                                        // gate watches: O(N) at the flat
+                                        // root, O(arity) everywhere in a
+                                        // populated tree
   std::uint64_t sema_ops = 0;
   std::uint64_t cond_ops = 0;
   std::uint64_t flushes = 0;
@@ -84,6 +95,8 @@ struct DsmStatsSnapshot {
     lock_acquires += o.lock_acquires;
     lock_acquires_cached += o.lock_acquires_cached;
     barriers += o.barriers;
+    barrier_msgs_sent += o.barrier_msgs_sent;
+    barrier_msgs_recv += o.barrier_msgs_recv;
     sema_ops += o.sema_ops;
     cond_ops += o.cond_ops;
     flushes += o.flushes;
@@ -120,6 +133,8 @@ struct DsmStats {
   std::atomic<std::uint64_t> lock_acquires{0};
   std::atomic<std::uint64_t> lock_acquires_cached{0};
   std::atomic<std::uint64_t> barriers{0};
+  std::atomic<std::uint64_t> barrier_msgs_sent{0};
+  std::atomic<std::uint64_t> barrier_msgs_recv{0};
   std::atomic<std::uint64_t> sema_ops{0};
   std::atomic<std::uint64_t> cond_ops{0};
   std::atomic<std::uint64_t> flushes{0};
@@ -153,6 +168,8 @@ struct DsmStats {
     s.lock_acquires = lock_acquires.load(std::memory_order_relaxed);
     s.lock_acquires_cached = lock_acquires_cached.load(std::memory_order_relaxed);
     s.barriers = barriers.load(std::memory_order_relaxed);
+    s.barrier_msgs_sent = barrier_msgs_sent.load(std::memory_order_relaxed);
+    s.barrier_msgs_recv = barrier_msgs_recv.load(std::memory_order_relaxed);
     s.sema_ops = sema_ops.load(std::memory_order_relaxed);
     s.cond_ops = cond_ops.load(std::memory_order_relaxed);
     s.flushes = flushes.load(std::memory_order_relaxed);

@@ -82,6 +82,32 @@ TEST(ConfigEnv, LockPushKnobsOverrideDefaults) {
   }
 }
 
+// The sync-fabric knobs (combining-tree arity, manager sharding) ride the
+// same hardened parser: the CI treesync leg sets them as session defaults.
+TEST(ConfigEnv, SyncFabricKnobsOverrideDefaults) {
+  EXPECT_EQ(DsmConfig{}.barrier_tree_arity, 0u);  // default: centralized/flat
+  EXPECT_FALSE(DsmConfig{}.shard_managers);
+  {
+    ScopedEnv env("TMK_BARRIER_ARITY", "2");
+    EXPECT_EQ(DsmConfig{}.barrier_tree_arity, 2u);
+  }
+  {
+    ScopedEnv env("TMK_SHARD_MANAGERS", "1");
+    EXPECT_TRUE(DsmConfig{}.shard_managers);
+  }
+}
+
+TEST(ConfigEnvDeathTest, RejectsMalformedSyncFabricKnobs) {
+  {
+    ScopedEnv env("TMK_BARRIER_ARITY", "two");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_BARRIER_ARITY");
+  }
+  {
+    ScopedEnv env("TMK_SHARD_MANAGERS", "on");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_SHARD_MANAGERS");
+  }
+}
+
 // An explicit field assignment still beats the env default, and the push
 // stays gated on the diff cache.
 TEST(ConfigEnv, LockPushExplicitAssignmentAndCacheGate) {

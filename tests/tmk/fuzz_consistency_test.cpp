@@ -106,7 +106,9 @@ struct FuzzConfig {
   bool gc;
   std::size_t cache_bytes;
   bool update;
-  std::size_t lock_push;  // lock_push_bytes; 0 = off
+  std::size_t lock_push;           // lock_push_bytes; 0 = off
+  std::uint32_t arity = 0;         // barrier_tree_arity; 0 = centralized
+  bool shard = false;              // hash-sharded lock/sema managers
 };
 
 // One node's lock-guarded counter increment, optionally nested with a
@@ -142,6 +144,8 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
   c.diff_cache_bytes_per_page = fc.cache_bytes;
   c.update_mode = fc.update;
   c.lock_push_bytes = fc.lock_push;
+  c.barrier_tree_arity = fc.arity;
+  c.shard_managers = fc.shard;
   c.time.cpu_scale = 0.0;
 
   std::vector<std::uint64_t> final_words(kWords + kWordsPerPage, 0);
@@ -242,6 +246,18 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
       matrix.push_back({prefetch, gc, 16 * 1024, false, 16 * 1024});
   for (bool gc : {false, true})
     matrix.push_back({4, gc, 16 * 1024, true, 16 * 1024});
+  // Combining-tree fabric legs, always with hash-sharded managers riding
+  // along: arity 2 (one combining point below the root at 4 nodes) and the
+  // arity-1 chain (every node a combining point, maximal depth — the
+  // worst case for a departure wave racing next-epoch arrivals), across GC
+  // modes; then the tree under each push protocol, whose barrier-indexed
+  // parking is exactly what the deeper fabric must not skew.
+  for (std::uint32_t arity : {1u, 2u})
+    for (bool gc : {false, true})
+      matrix.push_back({4, gc, 16 * 1024, false, 0, arity, true});
+  matrix.push_back({0, true, 0, false, 0, 2, true});  // cache off + tree
+  matrix.push_back({4, true, 16 * 1024, true, 0, 2, true});
+  matrix.push_back({4, true, 16 * 1024, false, 16 * 1024, 1, true});
 
   for (std::size_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = seed_base + s;
@@ -272,6 +288,7 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
                    << "seed=" << seed << " prefetch=" << fc.prefetch
                    << " gc=" << fc.gc << " cache=" << fc.cache_bytes
                    << " update=" << fc.update << " lockpush=" << fc.lock_push
+                   << " arity=" << fc.arity << " shard=" << fc.shard
                    << " (replay: NOW_FUZZ_SEED_BASE=" << seed
                    << " NOW_FUZZ_SEEDS=1)");
       const auto got = run_fuzz(fc, seed, epochs);
