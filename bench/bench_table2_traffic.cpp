@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   const bool prefetch_on = dsm.prefetch_window() > 0;
   const bool update_on = dsm.update_enabled();
   const bool lock_push_on = dsm.lock_push_enabled();
+  const bool ceiling_on = dsm.on_demand_gc_enabled();
   std::vector<std::string> extra_head{"Application", "GcRec OpenMP", "GcRec Tmk",
                                       "GcKB OpenMP", "GcKB Tmk"};
   if (cache_on) {
@@ -55,6 +56,14 @@ int main(int argc, char** argv) {
     extra_head.push_back("LkPg Tmk");
     extra_head.push_back("LkHit Tmk");
     extra_head.push_back("LkDemote Tmk");
+  }
+  // Ceiling-triggered exchanges and relay pruning move when either the
+  // on-demand GC or the migratory push is on (the exchange floor is what
+  // prunes retained relay chunks).
+  if (ceiling_on || lock_push_on) {
+    extra_head.push_back("GcXchg Tmk");
+    extra_head.push_back("RelayPrune Tmk");
+    extra_head.push_back("RelayKB Tmk");
   }
   Table c(extra_head);
   auto add = [&](const char* name, const VersionedResults& r) {
@@ -88,6 +97,12 @@ int main(int argc, char** argv) {
       row.push_back(Table::fmt(r.tmk.dsm.lock_pages_pushed));
       row.push_back(Table::fmt(r.tmk.dsm.lock_push_hits));
       row.push_back(Table::fmt(r.tmk.dsm.lock_push_demotions));
+    }
+    if (ceiling_on || lock_push_on) {
+      row.push_back(Table::fmt(r.tmk.dsm.gc_exchanges));
+      row.push_back(Table::fmt(r.tmk.dsm.relay_chunks_pruned));
+      row.push_back(Table::fmt(
+          static_cast<double>(r.tmk.dsm.relay_bytes_pruned) / 1024.0, 1));
     }
     c.add_row(std::move(row));
   };

@@ -163,7 +163,67 @@ def main():
                     print("  ok   " + gline)
             prev = (n, got)
 
+    # Run-forever soak: per-node meta-footprint samples from `bench_soak
+    # --json` against baselines/soak_footprint.json.  Two gates:
+    #  - plateau (the regression gate): with the ceiling on, every sample's
+    #    max-over-nodes footprint stays under plateau_max_bytes, absolutely —
+    #    an on-demand GC that stops firing turns the plateau back into the
+    #    ceiling_off line and fails here;
+    #  - calibration: the ceiling_off curve must still grow by at least
+    #    min_off_growth over the run, or the workload no longer leaks
+    #    without the ceiling and the plateau gate proves nothing.
+    soak_base = baseline.get("soak_footprint") or {}
+    soak_meas = measured.get("soak_footprint") or {}
+    if soak_base:
+        if not soak_meas:
+            failures.append("soak_footprint section missing from bench_soak output")
+        elif int(soak_meas.get("ceiling_bytes", -1)) != int(soak_base["ceiling_bytes"]):
+            failures.append("soak ceiling mismatch: measured %s, baseline %s — "
+                            "the bounded quantity changed; refresh the baseline "
+                            "deliberately" % (soak_meas.get("ceiling_bytes"),
+                                              soak_base["ceiling_bytes"]))
+        else:
+            cap = float(soak_base["plateau_max_bytes"])
+            modes = soak_meas.get("modes", {})
+            on_pts = (modes.get("ceiling_on") or {}).get("points", [])
+            off_pts = (modes.get("ceiling_off") or {}).get("points", [])
+            if not on_pts:
+                failures.append("soak ceiling_on curve empty")
+            for p in on_pts:
+                got = float(p["max_node_bytes"])
+                line = "soak epoch %-5d max node bytes %8.0f  (plateau cap %.0f)" % (
+                    int(p["epoch"]), got, cap)
+                if got > cap:
+                    failures.append("PLATEAU REGRESSION: " + line)
+                else:
+                    print("  ok   " + line)
+            if not (modes.get("ceiling_on") or {}).get("gc_exchanges", 0):
+                failures.append("soak ceiling_on run performed no GC exchanges "
+                                "— the ceiling is inert")
+            min_growth = float(soak_base.get("min_off_growth", 2.0))
+            if len(off_pts) >= 2:
+                first = float(off_pts[0]["max_node_bytes"])
+                last = float(off_pts[-1]["max_node_bytes"])
+                ratio = last / first if first > 0 else float("inf")
+                gline = "soak ceiling_off growth %5.2fx over the run " \
+                        "(calibration floor %.2fx)" % (ratio, min_growth)
+                if ratio < min_growth:
+                    failures.append("VACUOUS PLATEAU GATE: " + gline)
+                else:
+                    print("  ok   " + gline)
+            elif soak_meas:
+                failures.append("soak ceiling_off curve missing or too short "
+                                "to calibrate the gate")
+
     if args.update:
+        if soak_base and soak_meas:
+            on_pts = (soak_meas.get("modes", {}).get("ceiling_on") or {}).get(
+                "points", [])
+            if on_pts:
+                peak = max(float(p["max_node_bytes"]) for p in on_pts)
+                soak_base["plateau_max_bytes"] = int(peak * 2)
+            soak_base["ceiling_bytes"] = soak_meas.get(
+                "ceiling_bytes", soak_base.get("ceiling_bytes"))
         for name, base_case in baseline.get("cases", {}).items():
             if name in cases:
                 base_case["speedup"] = round(float(cases[name]["speedup"]), 2)

@@ -193,6 +193,26 @@ struct DsmConfig {
   std::size_t diff_cache_bytes_per_page =
       detail::env_size("TMK_DIFF_CACHE_BYTES", 16 * 1024);
 
+  // On-demand GC under a memory ceiling (TreadMarks' threshold-triggered
+  // exchange).  0 (the default) disables it: a long-running program reclaims
+  // only at its barriers/forks, and a barrier-free lock loop grows its
+  // knowledge log and diff store until the next global sync point.  With a
+  // ceiling set, any node whose consistency-metadata footprint (log records
+  // + diff-store bytes + diff-cache bytes, the byte total behind
+  // Node::meta_footprint()) crosses it asks the barrier root to run a GC
+  // exchange over the combining-tree fabric: arrivals fold the cluster-wide
+  // minimal vector time (and minimal *validated* floor) up the tree, the
+  // departure wave fans the fresh floor back down, and every node truncates
+  // its log, validates its pages and raises its sent-caches exactly as at a
+  // barrier — without waiting for one.  Own diff-store entries are reclaimed
+  // one exchange later (against the folded min of floors every node has
+  // finished validating), preserving the barrier-GC delay invariant.  The
+  // exchange costs O(arity) messages per node and degenerates to a
+  // centralized all-node exchange at arity 0.  Default overridable via
+  // TMK_META_CEILING_BYTES.
+  std::size_t meta_ceiling_bytes =
+      detail::env_size("TMK_META_CEILING_BYTES", 0);
+
   // Combining-tree barrier fabric.  0 (the default) keeps the centralized
   // barrier: every node arrives directly at the root, which is exactly a
   // depth-1 tree — any arity >= num_nodes - 1 produces the same shape, so
@@ -247,10 +267,15 @@ struct DsmConfig {
     return lock_push_bytes > 0 && diff_cache_bytes_per_page > 0;
   }
 
+  // Whether the threshold-triggered on-demand GC exchange is in effect.
+  bool on_demand_gc_enabled() const { return meta_ceiling_bytes > 0; }
+
   // Whether any reclamation point can ever establish a GC floor — gates the
   // merge-time seeding of the validation-scan index (a floor that never
   // moves would let the index grow without a consumer).
-  bool gc_floors_enabled() const { return gc_at_barriers || gc_fork_join; }
+  bool gc_floors_enabled() const {
+    return gc_at_barriers || gc_fork_join || on_demand_gc_enabled();
+  }
 };
 
 }  // namespace now::tmk

@@ -38,6 +38,7 @@ void KnowledgeLog::append_own(IntervalRecord rec) {
   NOW_CHECK_EQ(rec.seq, seq_of(rec.node) + 1)
       << "own interval sequence must be dense";
   max_lamport_ = std::max(max_lamport_, rec.lamport);
+  total_bytes_ += rec.serialized_size();
   log.push_back(std::make_shared<const IntervalRecord>(std::move(rec)));
 }
 
@@ -53,6 +54,7 @@ std::vector<IntervalRecordPtr> KnowledgeLog::merge(
         << "gap in interval records for node " << rec->node
         << ": have " << have << ", got " << rec->seq;
     max_lamport_ = std::max(max_lamport_, rec->lamport);
+    total_bytes_ += rec->serialized_size();
     log.push_back(rec);    // shares the record; no page-vector copy
     fresh.push_back(rec);
   }
@@ -94,6 +96,8 @@ std::size_t KnowledgeLog::gc_to(const VectorTime& floor) {
         log.begin(), log.end(), floor[n],
         [](std::uint32_t seq, const IntervalRecordPtr& r) { return seq < r->seq; });
     dropped += static_cast<std::size_t>(it - log.begin());
+    for (auto rit = log.begin(); rit != it; ++rit)
+      total_bytes_ -= (*rit)->serialized_size();
     log.erase(log.begin(), it);
     gc_floor_[n] = floor[n];
   }

@@ -109,6 +109,11 @@ class KnowledgeLog {
   // metric the barrier-GC stress test watches.
   std::size_t total_records() const;
 
+  // Serialized byte size of every held record, maintained incrementally
+  // (append/merge add, gc_to subtracts) so the on-demand GC's ceiling check
+  // is O(1) instead of walking the log on every interval close.
+  std::size_t total_bytes() const { return total_bytes_; }
+
   // Highest lamport value across all known records (0 if none).
   std::uint64_t max_lamport() const { return max_lamport_; }
 
@@ -127,6 +132,7 @@ class KnowledgeLog {
   std::vector<std::vector<IntervalRecordPtr>> per_node_;
   VectorTime gc_floor_;  // per origin: highest reclaimed sequence
   std::uint64_t max_lamport_ = 0;
+  std::size_t total_bytes_ = 0;  // sum of held records' serialized_size()
 };
 
 }  // namespace now::tmk

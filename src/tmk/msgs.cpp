@@ -32,6 +32,9 @@ const char* msg_type_name(std::uint16_t t) {
     case kLockPushDeny: return "lock_push_deny";
     case kTreeArrive: return "tree_arrive";
     case kTreeDepart: return "tree_depart";
+    case kGcRequest: return "gc_request";
+    case kGcArrive: return "gc_arrive";
+    case kGcDepart: return "gc_depart";
     default: return "unknown";
   }
 }

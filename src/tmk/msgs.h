@@ -86,6 +86,20 @@ enum MsgType : std::uint16_t {
   kTreeDepart = 28,  // parent -> combining point: global floor + records
                      // the subtree fold was missing (acquire, fanned down)
 
+  // On-demand GC exchange (meta_ceiling_bytes > 0).  A node whose metadata
+  // footprint crosses the ceiling sends kGcRequest to the barrier root; the
+  // root fans the solicitation down the same combining tree the barriers
+  // use, each node answers up with its current vector time and its last
+  // *validated* floor folded kTreeArrive-style (min per component), and the
+  // root's kGcDepart wave fans the fresh global floor (plus the folded
+  // validated floor that bounds one-exchange-delayed own-diff reclaim) back
+  // down.  Unlike the barrier messages, nothing blocks: service threads
+  // fold and forward, and each compute thread applies the parked floor at
+  // its next synchronization operation.
+  kGcRequest = 29,  // over-ceiling node -> root; root/interior -> children
+  kGcArrive = 30,   // node -> parent: vt + validated floor (folded min)
+  kGcDepart = 31,   // parent -> children: fresh floor + reclaim-ack floor
+
   kNumMsgTypes
 };
 

@@ -83,12 +83,20 @@ class Node {
   // activity shows up in the gc_records_reclaimed counter instead.
   struct MetaFootprint {
     std::size_t log_records = 0;        // knowledge-log interval records held
+    std::size_t log_bytes = 0;          // serialized bytes of those records
     std::size_t diff_store_entries = 0; // (page, seq) diff entries held
     std::size_t diff_store_bytes = 0;   // bytes across those entries
     std::size_t diff_cache_bytes = 0;   // requester-side cache bytes (pins
                                         // included) across all pages
     std::size_t diff_cache_pinned_bytes = 0;  // subset held by pinned entries
                                               // (GC prefetches + promotions)
+    std::size_t relay_bytes = 0;        // subset of diff_cache_bytes retained
+                                        // for the migratory lock relay
+    // The metric the on-demand GC ceiling bounds: every byte of consistency
+    // metadata that grows with synchronization history.
+    std::size_t total_bytes() const {
+      return log_bytes + diff_store_bytes + diff_cache_bytes;
+    }
   };
   MetaFootprint meta_footprint();
   // Prints lock-client and manager state to stderr (deadlock forensics).
@@ -136,6 +144,62 @@ class Node {
   // Fast no-op when the floor does not advance past the applied one (the
   // common case: floors are established at sync points every node attends).
   void gc_raise_floor(const VectorTime& floor);
+
+  // ---------- on-demand GC exchange (ceiling-triggered, barrier-free) ----------
+  // A node whose metadata footprint crosses meta_ceiling_bytes cannot wait
+  // for the next barrier — a barrier-free lock loop may never reach one.  It
+  // asks the tree root (kGcRequest) to run a dedicated all-node exchange on
+  // the combining-tree fabric: the root solicits every node, each snapshots
+  // its (log vector time, validated floor) and folds its children's
+  // kGcArrive replies by vt_min, the root folds the global minima and fans
+  // kGcDepart back down.  The departure carries two vectors:
+  //  - floor: min over nodes of the log vt — every record at or below it is
+  //    globally known, exactly the barrier-GC invariant, so each node
+  //    truncates via the existing gc_raise_floor path;
+  //  - ack:   min over nodes of the *validated* floor — every node has
+  //    already resolved (pinned or applied) all notices at or below it, so
+  //    the writer may destroy the diff sources themselves.  This replaces
+  //    the barrier path's one-epoch delay: instead of waiting a barrier to
+  //    prove no validation fetch is in flight, the ack proves the fetches
+  //    already finished.
+  // Handlers run on the service thread and never block; the results are
+  // parked and applied by the compute thread at its next sync operation
+  // (gc_poll), keeping the page diff caches compute-thread-only.
+
+  // O(1) ceiling metric: log bytes + diff store bytes + diff cache bytes.
+  std::size_t meta_bytes();
+  // Compute-thread entry hook at every sync operation: applies a parked
+  // kGcDepart (truncate + validate + reclaim own store to the ack) and
+  // initiates a new exchange if the footprint still exceeds the ceiling.
+  void gc_poll();
+  // Destroys own diff-store entries with seq <= ack_seq (compute thread;
+  // raises gc_reclaimed_seq_ only — gc_drop_seq_ stays barrier-owned).
+  void gc_reclaim_store_to(std::uint32_t ack_seq);
+  // Relay pruning: remembers that `page` holds relay-retained chunks, and
+  // drops retained droppable chunks covered by this node's applied floor —
+  // validation resolved those notices and every future grant delta is cut
+  // above the floor, so they can never be served nor relayed again.
+  void relay_note(PageIndex page);
+  void relay_prune(const VectorTime& floor);
+  // Service-thread handlers for the exchange messages.
+  void on_gc_request(sim::Message&& m);
+  void on_gc_arrive(sim::Message&& m);
+  void on_gc_depart(sim::Message&& m);
+  // Snapshot own (log vt, validated floor), solicit children, and advance.
+  void gc_exchange_begin(std::uint32_t gen, std::uint64_t base_ts);
+  // Once all children folded: send kGcArrive up (interior) or establish the
+  // global floor/ack and start the departure wave (root).
+  void gc_exchange_advance(std::uint64_t base_ts);
+  // Departure at one node: raise the manager log's floor immediately,
+  // forward to children, park (floor, ack) for the compute thread.
+  void gc_depart_apply(std::uint32_t gen, const VectorTime& floor,
+                       const VectorTime& ack, std::uint64_t base_ts);
+  // delta_since against the sparse manager log, cutting from the maximum of
+  // `since` and the log's own floor: an exchange floor can pass a parked
+  // waiter's stale vector time (a cond waiter registers before the release
+  // that closes the interval), and the skipped records are by definition
+  // globally known — the waiter already holds them.
+  std::vector<IntervalRecordPtr> mgr_delta_since(const VectorTime& since);
 
   // ---------- migratory lock push (on the kLockGrant chain) ----------
   // Fault-time attribution: records the faulted page against every lock the
@@ -354,6 +418,12 @@ class Node {
   std::vector<VectorTime> sent_node_vt_;  // per peer: what their node log has
   std::vector<VectorTime> sent_mgr_vt_;   // per peer: what their mgr log has
   VectorTime gc_floor_applied_;           // last barrier-GC floor applied
+  // Highest floor this node has fully *validated* pages against (every
+  // notice at or below it pinned or applied).  Raised by the compute thread
+  // after each gc_validate_pages pass; snapshotted by the service thread
+  // during an on-demand exchange to fold the global ack.  A snapshot taken
+  // mid-validation reads the old value — conservative, never unsafe.
+  VectorTime gc_floor_validated_;
 
   // Own-diff reclamation floor: the previous barrier's floor component for
   // this node.  Diff-store entries at or below it are dropped one barrier
@@ -369,6 +439,46 @@ class Node {
   // loses the only source a concurrent fetch still wants.  Compute-thread
   // only.
   std::uint32_t gc_reclaimed_seq_ = 0;
+
+  // ---- on-demand GC exchange state ----
+  // Fold state of the exchange currently passing through this combining
+  // point (service thread only).  Generations cannot overlap on a node: a
+  // child's fold completes (active goes false) before its kGcArrive is sent
+  // up, and the root starts generation g+1 only after folding every
+  // generation-g arrival — so a solicit always finds active == false.
+  struct GcExchange {
+    bool active = false;
+    std::uint32_t gen = 0;
+    std::uint32_t awaiting = 0;  // children not yet folded
+    VectorTime fold_vt;          // min over subtree of log vt
+    VectorTime fold_ack;         // min over subtree of validated floor
+  };
+  GcExchange gc_ex_;
+  // Root-only dedup: while an exchange is in flight, further kGcRequest
+  // initiations join it instead of starting another (service thread only).
+  bool gc_root_active_ = false;
+  std::uint32_t gc_root_gen_ = 0;
+  // Departure results parked for the compute thread (gc_depart_mu_).  Two
+  // departures may land between polls; they merge by vt_max (both vectors
+  // are monotone across generations).
+  std::mutex gc_depart_mu_;
+  VectorTime gc_parked_floor_;
+  VectorTime gc_parked_ack_;
+  std::atomic<bool> gc_parked_flag_{false};
+  // Highest generation whose departure this node has seen, and the highest
+  // generation this node has asked the root for (compute thread only): a
+  // node over the ceiling sends one initiation per generation, not one per
+  // sync operation, so the root is not flooded while an exchange runs.
+  std::atomic<std::uint32_t> gc_gen_seen_{0};
+  std::uint32_t gc_gen_requested_ = 0;
+  // O(1) footprint mirrors for the ceiling check: the diff store's payload
+  // bytes, and the sum of every page diff cache's bytes (bound via
+  // PageDiffCache::bind_total at construction).
+  std::atomic<std::size_t> diff_store_bytes_{0};
+  std::atomic<std::size_t> diff_cache_total_bytes_{0};
+  // Pages holding relay-retained chunks (compute thread only; deduplicated
+  // by relay_prune), so pruning is O(pages with retained chunks).
+  std::vector<PageIndex> relay_pages_;
 
   // ---- migratory lock push: per-lock protected page sets ----
   // Writer-side stats per (lock, page), guarded by lock_protect_mu_: the

@@ -19,9 +19,12 @@ Node::Node(DsmRuntime& rt, std::uint32_t id)
       sent_node_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
       sent_mgr_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
       gc_floor_applied_(num_nodes_, 0),
+      gc_floor_validated_(num_nodes_, 0),
       mgr_(num_nodes_),
       tree_sent_up_vt_(num_nodes_, 0),
-      stress_rng_(rt.config().stress_seed + id) {}
+      stress_rng_(rt.config().stress_seed + id) {
+  for (PageEntry& e : pages_) e.diff_cache.bind_total(&diff_cache_total_bytes_);
+}
 
 Node::~Node() = default;
 
@@ -154,7 +157,9 @@ void Node::materialize_twin(PageIndex page, PageEntry& e) {
   stats_.diff_bytes_created.fetch_add(diff.size(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(store_mu_);
-    diff_store_[diff_store_key(page, e.twin.seq)].push_back(std::move(diff));
+    diff_store_bytes_.fetch_add(
+        diff_store_[diff_store_key(page, e.twin.seq)].emplace_back(std::move(diff)).size(),
+        std::memory_order_relaxed);
   }
   e.twin_valid = false;
   e.twin.data.reset();
@@ -170,6 +175,7 @@ Node::MetaFootprint Node::meta_footprint() {
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
     f.log_records = log_.total_records();
+    f.log_bytes = log_.total_bytes();
   }
   {
     std::lock_guard<std::mutex> lock(store_mu_);
@@ -181,8 +187,16 @@ Node::MetaFootprint Node::meta_footprint() {
     std::lock_guard<std::mutex> lock(e.mu);
     f.diff_cache_bytes += e.diff_cache.bytes();
     f.diff_cache_pinned_bytes += e.diff_cache.pinned_bytes();
+    f.relay_bytes += e.diff_cache.relay_bytes();
   }
   return f;
+}
+
+std::size_t Node::meta_bytes() {
+  std::size_t total = diff_store_bytes_.load(std::memory_order_relaxed) +
+                      diff_cache_total_bytes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return total + log_.total_bytes();
 }
 
 // ---------------------------------------------------------------------------

@@ -304,10 +304,22 @@ void Node::fetch_and_apply(PageIndex page, PageEntry& e) {
       // their writers reclaimed the diffs against a floor every peer has
       // applied, so no grant delta can ever name them again, and a stale
       // pin would leak pinned bytes forever.
-      if (!retain || cached->pinned) e.diff_cache.erase(n.writer, n.seq);
+      if (!retain || cached->pinned) {
+        e.diff_cache.erase(n.writer, n.seq);
+      } else {
+        // Retained for the relay: mark it so the prune pass can find (and
+        // eventually drop) it once a grant or exchange floor covers it.
+        e.diff_cache.mark_relay(n.writer, n.seq);
+      }
     }
-    for (auto& [n, owned] : keep)
-      e.diff_cache.insert(n->writer, n->seq, std::move(owned), cache_budget);
+    bool kept_any = false;
+    for (auto& [n, owned] : keep) {
+      if (e.diff_cache.insert(n->writer, n->seq, std::move(owned), cache_budget)) {
+        e.diff_cache.mark_relay(n->writer, n->seq);
+        kept_any = true;
+      }
+    }
+    if (retain && (kept_any || !want.empty())) relay_note(page);
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));

@@ -91,6 +91,9 @@ void Node::handle_message(sim::Message&& m) {
     case kFlushNotice: on_flush_notice(std::move(m)); return;
     case kAllocRequest: on_alloc_request(std::move(m)); return;
     case kFreeRequest: on_free_request(std::move(m)); return;
+    case kGcRequest: on_gc_request(std::move(m)); return;
+    case kGcArrive: on_gc_arrive(std::move(m)); return;
+    case kGcDepart: on_gc_depart(std::move(m)); return;
     default:
       NOW_CHECK(false) << "node " << id_ << ": unknown message type " << m.type;
   }

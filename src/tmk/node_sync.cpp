@@ -29,6 +29,7 @@ std::uint64_t cond_key(std::uint32_t lock_id, std::uint32_t cond_id) {
 
 void Node::barrier() {
   sync_cpu();
+  gc_poll();
   // 0-based index of the epoch this barrier ends; kDiffRequests sent after
   // the barrier returns carry epoch_done + 1 and are folded one barrier
   // later (see update_copyset_fold).
@@ -171,7 +172,7 @@ void Node::tree_barrier_fan_down(const VectorTime& floor, std::uint64_t depart_t
     // subtree member is missing, deduplicated by merge() downstream.
     ByteWriter w;
     KnowledgeLog::serialize_vt(w, floor);
-    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(arr.vt));
+    KnowledgeLog::serialize_records(w, mgr_delta_since(arr.vt));
     sim::Message depart;
     depart.type = arr.via_tree ? kTreeDepart : kBarrierDepart;
     depart.src = id_;
@@ -214,6 +215,19 @@ void Node::mgr_gc_to(const VectorTime& floor) {
     stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
 }
 
+std::vector<IntervalRecordPtr> Node::mgr_delta_since(const VectorTime& since) {
+  // A waiter's parked vector time can go stale against the manager log's
+  // floor: a cond waiter registers *before* the release that closes its
+  // interval, and an on-demand exchange running while it sleeps can raise
+  // the floor past its registration.  Cutting from max(floor, since) is
+  // exact, not lossy: every record in (since, floor] is either the waiter's
+  // own or globally known (that is what the floor certifies), so the waiter
+  // already holds it.
+  VectorTime floor(num_nodes_, 0);
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) floor[i] = mgr_.log.gc_floor(i);
+  return mgr_.log.delta_since(vt_max(std::move(floor), since));
+}
+
 void Node::gc_at_barrier(const VectorTime& floor) {
   // Own diff-store entries are reclaimed one reclamation point late: this
   // pass drops entries at or below the *previous* floor, while the current
@@ -230,7 +244,9 @@ void Node::gc_at_barrier(const VectorTime& floor) {
   // fork floor).
   const std::uint32_t prev_drop = gc_drop_seq_;
   gc_drop_seq_ = std::max(gc_drop_seq_, floor[id_]);
-  gc_reclaimed_seq_ = prev_drop;
+  // An on-demand exchange may have reclaimed past prev_drop already (its ack
+  // proved the validation fetches drained); the bound never moves backwards.
+  gc_reclaimed_seq_ = std::max(gc_reclaimed_seq_, prev_drop);
 
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
@@ -248,6 +264,12 @@ void Node::gc_at_barrier(const VectorTime& floor) {
   }
 
   gc_validate_pages(floor);
+  {
+    // Every notice at or below the floor is now resolved (pinned or applied):
+    // the exchange's ack fold may release writers' diff sources against it.
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    gc_floor_validated_ = vt_max(std::move(gc_floor_validated_), floor);
+  }
 
   if (prev_drop > 0) {
     std::uint64_t bytes = 0;
@@ -263,11 +285,14 @@ void Node::gc_at_barrier(const VectorTime& floor) {
       }
     }
     if (entries) {
+      diff_store_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       stats_.gc_diff_bytes_reclaimed.fetch_add(bytes, std::memory_order_relaxed);
       NOW_LOG(kDebug, "node %u GC: reclaimed %zu diff entries (%llu bytes) <= seq %u",
               id_, entries, static_cast<unsigned long long>(bytes), prev_drop);
     }
   }
+
+  if (rt_.config().lock_push_enabled()) relay_prune(floor);
 }
 
 void Node::gc_raise_floor(const VectorTime& floor) {
@@ -289,7 +314,13 @@ void Node::gc_raise_floor(const VectorTime& floor) {
         break;
       }
     }
-    if (!advances) return;
+    if (!advances) {
+      // An applied floor is by now also validated on this compute thread
+      // (both passes complete before it returns); keep the validated vector
+      // caught up so the exchange's ack fold never lags the applied one.
+      gc_floor_validated_ = vt_max(std::move(gc_floor_validated_), floor);
+      return;
+    }
     const std::size_t dropped = log_.gc_to(floor);
     if (dropped)
       stats_.gc_records_reclaimed.fetch_add(dropped, std::memory_order_relaxed);
@@ -300,6 +331,10 @@ void Node::gc_raise_floor(const VectorTime& floor) {
     gc_floor_applied_ = vt_max(std::move(gc_floor_applied_), floor);
   }
   gc_validate_pages(floor);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    gc_floor_validated_ = vt_max(std::move(gc_floor_validated_), floor);
+  }
 }
 
 void Node::gc_validate_pages(const VectorTime& floor) {
@@ -432,6 +467,245 @@ void Node::gc_validate_pages(const VectorTime& floor) {
     stats_.diffs_applied.fetch_add(applied, std::memory_order_relaxed);
     clock_.advance_us(rt_.config().diff_apply_per_kb_us *
                       (static_cast<double>(patched) / 1024.0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// On-demand GC exchange (ceiling-triggered, barrier-free)
+//
+// A barrier-free lock loop grows every node's knowledge log and diff store
+// without bound: the barrier-time GC never runs, and the lock-chain floors
+// of PR 5 only *propagate* floors established at barriers — they never
+// establish one.  When a node's metadata footprint crosses
+// meta_ceiling_bytes, it initiates a dedicated all-node exchange over the
+// combining-tree fabric that establishes a fresh global floor right now:
+//
+//   initiator --kGcRequest(initiate)--> root
+//   root assigns a generation, fans kGcRequest(solicit) down the tree
+//   each node snapshots (log vt, validated floor), folds its children's
+//     kGcArrive replies by vt_min, sends the fold up
+//   root folds the global (floor, ack), fans kGcDepart down
+//
+// The departure's floor is min-over-nodes of the log vt — exactly the
+// barrier fold's invariant, so truncation and validation reuse the PR 2/5
+// machinery unchanged (gc_raise_floor).  The ack is min-over-nodes of the
+// *validated* floor: every node has already resolved (pinned or applied)
+// all notices at or below it, so writers may destroy the diff sources for
+// their own component immediately — replacing the barrier path's one-epoch
+// reclamation delay with a proof that the validation fetches already
+// drained.  (A fault-path fetch never requests a seq <= the requester's own
+// validated floor — validation left those pinned locally or applied — and
+// an in-flight validation fetch targets seqs above the requester's
+// previous validated floor, which the ack cannot exceed.)
+//
+// Handlers run on the service thread and never block.  Results are parked
+// and applied by the compute thread at its next sync operation (gc_poll),
+// preserving the partition invariant that only the compute thread mutates
+// page diff caches.  Generations cannot overlap at a node: the root starts
+// g+1 only after folding every g arrival, and a node's fold completes
+// before its kGcArrive is sent up.
+// ---------------------------------------------------------------------------
+
+void Node::gc_poll() {
+  const auto& cfg = rt_.config();
+  if (!cfg.on_demand_gc_enabled()) return;
+  // Apply a parked departure first: its floor may already put this node
+  // back under the ceiling without another exchange.
+  if (gc_parked_flag_.load(std::memory_order_acquire)) {
+    VectorTime floor, ack;
+    {
+      std::lock_guard<std::mutex> lock(gc_depart_mu_);
+      floor = std::move(gc_parked_floor_);
+      ack = std::move(gc_parked_ack_);
+      gc_parked_floor_.clear();
+      gc_parked_ack_.clear();
+      gc_parked_flag_.store(false, std::memory_order_release);
+    }
+    gc_raise_floor(floor);
+    gc_reclaim_store_to(ack[id_]);
+    if (cfg.lock_push_enabled()) relay_prune(gc_floor_snapshot());
+  }
+  if (meta_bytes() <= cfg.meta_ceiling_bytes) return;
+  // One initiation per generation, not one per sync op: while the exchange
+  // this node asked for is still in flight, stay quiet.
+  const std::uint32_t seen = gc_gen_seen_.load(std::memory_order_relaxed);
+  if (gc_gen_requested_ > seen) return;
+  gc_gen_requested_ = seen + 1;
+  ByteWriter w;
+  w.u8(0);   // initiate
+  w.u32(0);  // generation: assigned by the root
+  sim::Message m;
+  m.type = kGcRequest;
+  m.dst = rt_.topology().barrier_root();
+  m.payload = w.take();
+  send_compute(std::move(m));
+}
+
+void Node::gc_reclaim_store_to(std::uint32_t ack_seq) {
+  if (ack_seq <= gc_reclaimed_seq_) return;
+  gc_reclaimed_seq_ = ack_seq;
+  std::uint64_t bytes = 0;
+  std::size_t entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    for (auto it = diff_store_.begin(); it != diff_store_.end();) {
+      if (static_cast<std::uint32_t>(it->first) <= ack_seq) {
+        for (const DiffBytes& d : it->second) bytes += d.size();
+        ++entries;
+        it = diff_store_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (entries) {
+    diff_store_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    stats_.gc_diff_bytes_reclaimed.fetch_add(bytes, std::memory_order_relaxed);
+    NOW_LOG(kDebug, "node %u on-demand GC: reclaimed %zu diff entries (%llu bytes) <= seq %u",
+            id_, entries, static_cast<unsigned long long>(bytes), ack_seq);
+  }
+}
+
+void Node::relay_note(PageIndex page) { relay_pages_.push_back(page); }
+
+void Node::relay_prune(const VectorTime& floor) {
+  if (relay_pages_.empty()) return;
+  std::sort(relay_pages_.begin(), relay_pages_.end());
+  relay_pages_.erase(std::unique(relay_pages_.begin(), relay_pages_.end()),
+                     relay_pages_.end());
+  std::size_t chunks = 0;
+  std::size_t bytes = 0;
+  std::vector<PageIndex> keep;
+  for (PageIndex page : relay_pages_) {
+    PageEntry& e = pages_[page];
+    std::lock_guard<std::mutex> lock(e.mu);
+    chunks += e.diff_cache.prune_below(floor, &bytes);
+    if (e.diff_cache.relay_bytes() > 0) keep.push_back(page);
+  }
+  relay_pages_ = std::move(keep);
+  if (chunks) {
+    stats_.relay_chunks_pruned.fetch_add(chunks, std::memory_order_relaxed);
+    stats_.relay_bytes_pruned.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+void Node::on_gc_request(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const bool solicit = r.u8() != 0;
+  const std::uint32_t gen = r.u32();
+  if (!solicit) {
+    NOW_CHECK_EQ(id_, rt_.topology().barrier_root())
+        << "GC initiation reached a non-root node";
+    // Dedup: an initiation while an exchange is in flight joins it — its
+    // departure serves every node, initiator or not.
+    if (gc_root_active_) return;
+    gc_root_active_ = true;
+    stats_.gc_exchanges.fetch_add(1, std::memory_order_relaxed);
+    gc_exchange_begin(++gc_root_gen_, m.arrive_ts_ns);
+    return;
+  }
+  gc_exchange_begin(gen, m.arrive_ts_ns);
+}
+
+void Node::gc_exchange_begin(std::uint32_t gen, std::uint64_t base_ts) {
+  NOW_CHECK(!gc_ex_.active) << "overlapping GC exchange generations";
+  gc_ex_.active = true;
+  gc_ex_.gen = gen;
+  {
+    // Snapshot under meta_mu_: a compute-thread validation pass racing this
+    // snapshot can only make the validated floor *smaller* than current —
+    // conservative for the ack fold, never unsafe.
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    gc_ex_.fold_vt = log_.vt();
+    gc_ex_.fold_ack = gc_floor_validated_;
+  }
+  const std::vector<std::uint32_t> children = rt_.topology().barrier_children(id_);
+  gc_ex_.awaiting = static_cast<std::uint32_t>(children.size());
+  for (std::uint32_t child : children) {
+    ByteWriter w;
+    w.u8(1);  // solicit
+    w.u32(gen);
+    sim::Message m;
+    m.type = kGcRequest;
+    m.dst = child;
+    m.payload = w.take();
+    send_service(std::move(m), base_ts);
+  }
+  gc_exchange_advance(base_ts);
+}
+
+void Node::gc_exchange_advance(std::uint64_t base_ts) {
+  if (gc_ex_.awaiting > 0) return;
+  gc_ex_.active = false;
+  if (id_ != rt_.topology().barrier_root()) {
+    ByteWriter w;
+    w.u32(gc_ex_.gen);
+    KnowledgeLog::serialize_vt(w, gc_ex_.fold_vt);
+    KnowledgeLog::serialize_vt(w, gc_ex_.fold_ack);
+    sim::Message up;
+    up.type = kGcArrive;
+    up.dst = rt_.topology().barrier_parent(id_);
+    up.payload = w.take();
+    send_service(std::move(up), base_ts);
+    return;
+  }
+  gc_root_active_ = false;
+  gc_depart_apply(gc_ex_.gen, gc_ex_.fold_vt, gc_ex_.fold_ack, base_ts);
+}
+
+void Node::on_gc_arrive(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint32_t gen = r.u32();
+  NOW_CHECK(gc_ex_.active && gc_ex_.gen == gen && gc_ex_.awaiting > 0)
+      << "stray kGcArrive for generation " << gen;
+  gc_ex_.fold_vt = vt_min(std::move(gc_ex_.fold_vt), KnowledgeLog::deserialize_vt(r));
+  gc_ex_.fold_ack = vt_min(std::move(gc_ex_.fold_ack), KnowledgeLog::deserialize_vt(r));
+  --gc_ex_.awaiting;
+  gc_exchange_advance(m.arrive_ts_ns);
+}
+
+void Node::on_gc_depart(sim::Message&& m) {
+  ByteReader r(m.payload);
+  const std::uint32_t gen = r.u32();
+  const VectorTime floor = KnowledgeLog::deserialize_vt(r);
+  const VectorTime ack = KnowledgeLog::deserialize_vt(r);
+  gc_depart_apply(gen, floor, ack, m.arrive_ts_ns);
+}
+
+void Node::gc_depart_apply(std::uint32_t gen, const VectorTime& floor,
+                           const VectorTime& ack, std::uint64_t base_ts) {
+  // The manager-duty log lives on this service thread: truncate immediately.
+  mgr_gc_to(floor);
+  for (std::uint32_t child : rt_.topology().barrier_children(id_)) {
+    ByteWriter w;
+    w.u32(gen);
+    KnowledgeLog::serialize_vt(w, floor);
+    KnowledgeLog::serialize_vt(w, ack);
+    sim::Message m;
+    m.type = kGcDepart;
+    m.dst = child;
+    m.payload = w.take();
+    send_service(std::move(m), base_ts);
+  }
+  // Park for the compute thread's next gc_poll.  Two departures may land
+  // between polls: merge by vt_max (both vectors are monotone across
+  // generations, so the merge is the newest of each).
+  {
+    std::lock_guard<std::mutex> lock(gc_depart_mu_);
+    if (gc_parked_floor_.empty()) {
+      gc_parked_floor_ = floor;
+      gc_parked_ack_ = ack;
+    } else {
+      gc_parked_floor_ = vt_max(std::move(gc_parked_floor_), floor);
+      gc_parked_ack_ = vt_max(std::move(gc_parked_ack_), ack);
+    }
+    gc_parked_flag_.store(true, std::memory_order_release);
+  }
+  // Monotone max: a straggling lower-generation departure (reordered behind
+  // a newer one on another path) must not roll the seen mark back.
+  std::uint32_t seen = gc_gen_seen_.load(std::memory_order_relaxed);
+  while (seen < gen && !gc_gen_seen_.compare_exchange_weak(
+                           seen, gen, std::memory_order_relaxed)) {
   }
 }
 
@@ -775,11 +1049,16 @@ std::uint32_t Node::consume_lock_grant(sim::Message& grant) {
   // invariant the fault path relies on.
   apply_lock_push(lock_id, grant.src, r);
   if (rt_.config().gc_lock_floors) gc_raise_floor(floor);
+  // Retained relay chunks at or below the applied floor can never serve a
+  // fault nor ride a future grant delta again: drop them here, on the chain
+  // itself, so a rotating barrier-free loop's relay stock stays bounded.
+  if (rt_.config().lock_push_enabled()) relay_prune(gc_floor_snapshot());
   return lock_id;
 }
 
 void Node::lock_acquire(std::uint32_t lock_id) {
   sync_cpu();
+  gc_poll();
   stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
   const bool lock_push = rt_.config().lock_push_enabled();
   {
@@ -832,6 +1111,7 @@ void Node::lock_acquire(std::uint32_t lock_id) {
 
 void Node::lock_release(std::uint32_t lock_id) {
   sync_cpu();
+  gc_poll();
   close_interval();
   if (rt_.config().lock_push_enabled()) {
     held_locks_.erase(
@@ -909,7 +1189,7 @@ void Node::mgr_route_lock(std::uint32_t lock_id, std::uint32_t requester,
     ByteWriter w;
     w.u32(lock_id);
     KnowledgeLog::serialize_vt(w, gc_floor_snapshot());
-    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(vt));
+    KnowledgeLog::serialize_records(w, mgr_delta_since(vt));
     w.u32(0);  // no migratory push from the manager (it holds no diffs)
     sim::Message grant;
     grant.type = kLockGrant;
@@ -1353,6 +1633,11 @@ void Node::apply_lock_push(std::uint32_t lock_id, std::uint32_t writer,
       any_kept |= e.diff_cache.insert(wtr, seq, std::move(chunks),
                                       cache_budget, /*prefetched=*/false,
                                       /*pushed=*/true);
+    // Retained entries on this lock-protected page are relay stock: mark
+    // them so the prune pass can drop them once a floor covers them
+    // (mark_relay no-ops on budget-rejected keys).
+    for (const auto& [wtr, seq, chunks] : wire) e.diff_cache.mark_relay(wtr, seq);
+    if (any_kept) relay_note(page);
     if (!any_kept) {
       // The cache budget rejected every chunk (GC pins already fill it, or
       // oversized diffs): these pushes can never land, and the re-fetching
@@ -1415,6 +1700,7 @@ void Node::apply_lock_push(std::uint32_t lock_id, std::uint32_t writer,
 
 void Node::sema_wait(std::uint32_t sema_id) {
   sync_cpu();
+  gc_poll();
   stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
   ByteWriter w;
   w.u32(sema_id);
@@ -1429,6 +1715,7 @@ void Node::sema_wait(std::uint32_t sema_id) {
 
 void Node::sema_signal(std::uint32_t sema_id) {
   sync_cpu();
+  gc_poll();
   stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
   close_interval();
   const std::uint32_t mgr = rt_.topology().sema_manager(sema_id);
@@ -1453,7 +1740,7 @@ void Node::on_sema_wait(sim::Message&& m) {
   if (S.count > 0) {
     --S.count;
     ByteWriter w;
-    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(vt));
+    KnowledgeLog::serialize_records(w, mgr_delta_since(vt));
     sim::Message grant;
     grant.type = kSemaGrant;
     grant.dst = m.src;
@@ -1475,7 +1762,7 @@ void Node::on_sema_signal(sim::Message&& m) {
     SemaWaiter wtr = std::move(S.waiters.front());
     S.waiters.pop_front();
     ByteWriter w;
-    KnowledgeLog::serialize_records(w, mgr_.log.delta_since(wtr.vt));
+    KnowledgeLog::serialize_records(w, mgr_delta_since(wtr.vt));
     sim::Message grant;
     grant.type = kSemaGrant;
     grant.dst = wtr.node;
@@ -1499,6 +1786,7 @@ void Node::on_sema_signal(sim::Message&& m) {
 void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
   NOW_LOG(kDebug, "node %u: cond_wait(%u,%u) begin", id_, lock_id, cond_id);
   sync_cpu();
+  gc_poll();
   stats_.cond_ops.fetch_add(1, std::memory_order_relaxed);
   close_interval();
   const bool lock_push = rt_.config().lock_push_enabled();
@@ -1571,6 +1859,7 @@ void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
 
 void Node::cond_notify(std::uint32_t lock_id, std::uint32_t cond_id, bool broadcast) {
   sync_cpu();
+  gc_poll();
   stats_.cond_ops.fetch_add(1, std::memory_order_relaxed);
   // The signal itself is not a release of the lock, but the manager's later
   // grants are built from its log, so ship our release chain along.
@@ -1633,6 +1922,7 @@ void Node::on_cond_signal(sim::Message&& m, bool broadcast) {
 
 void Node::flush() {
   sync_cpu();
+  gc_poll();
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
   close_interval();
 
@@ -1729,6 +2019,7 @@ bool Node::slave_serve_one(Tmk& tmk) {
   std::vector<std::uint8_t> arg = r.bytes();
   const VectorTime fork_floor = KnowledgeLog::deserialize_vt(r);
   arrive(m);
+  gc_poll();
 
   // Fork-point GC (compute thread, before the region body): with the fork
   // delta merged, this node's knowledge dominates the piggybacked floor.

@@ -1,6 +1,7 @@
 // Per-node page table entries for the DSM protocol.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -73,11 +74,18 @@ inline bool applies_before(const UnappliedNotice& a, const UnappliedNotice& b) {
 //    second application.
 class PageDiffCache {
  public:
+  // Mirrors every bytes_ change into a node-wide counter (a relaxed atomic
+  // owned by the Node), so the on-demand GC's ceiling check can read the
+  // cluster of per-page caches in O(1) instead of walking the page table on
+  // every sync operation.  Bound once at Node construction.
+  void bind_total(std::atomic<std::size_t>* total) { total_ = total; }
+
   struct Entry {
     std::vector<DiffBytes> chunks;
     bool pinned = false;      // exempt from FIFO eviction (barrier-GC)
     bool prefetched = false;  // arrived via multi-page prefetch (stats only)
     bool pushed = false;      // arrived via kUpdatePush (stats only)
+    bool relayed = false;     // retained for the migratory lock relay
   };
 
   // Entry for (writer, seq), or nullptr if not cached.  The pointer stays
@@ -109,14 +117,17 @@ class PageDiffCache {
       order_.pop_front();
       // A key may be stale (erased, or promoted to pinned since): skip it.
       if (victim == map_.end() || victim->second.pinned) continue;
-      for (const DiffBytes& c : victim->second.chunks) bytes_ -= c.size();
+      std::size_t vsz = 0;
+      for (const DiffBytes& c : victim->second.chunks) vsz += c.size();
+      sub_bytes(vsz);
+      if (victim->second.relayed) relay_bytes_ -= vsz;
       map_.erase(victim);
     }
     // Pins alone may already exceed the budget (insert_gc bypasses it, the
     // GC pass rebalances at the next barrier): a droppable entry must not
     // land on top of that, or the cache would grow to pins + budget.
     if (bytes_ + sz > budget_bytes) return false;
-    bytes_ += sz;
+    add_bytes(sz);
     order_.push_back(k);
     map_.emplace(k, Entry{std::move(chunks), /*pinned=*/false, prefetched, pushed});
     return true;
@@ -133,7 +144,7 @@ class PageDiffCache {
     if (pin_existing(writer, seq)) return;  // same key => same chunk content
     std::size_t sz = 0;
     for (const DiffBytes& c : chunks) sz += c.size();
-    bytes_ += sz;
+    add_bytes(sz);
     pinned_bytes_ += sz;
     // Deliberately not queued in order_, so the eviction loop never sees it.
     map_.emplace(key(writer, seq), Entry{std::move(chunks), /*pinned=*/true,
@@ -164,23 +175,71 @@ class PageDiffCache {
     if (it == map_.end()) return;
     std::size_t sz = 0;
     for (const DiffBytes& c : it->second.chunks) sz += c.size();
-    bytes_ -= sz;
+    sub_bytes(sz);
     if (it->second.pinned) pinned_bytes_ -= sz;
+    if (it->second.relayed) relay_bytes_ -= sz;
     map_.erase(it);
+  }
+
+  // Marks an already-held entry as retained for the migratory lock relay
+  // (provenance + byte accounting; no eviction-class change — relay
+  // retention is droppable by contract, its writer still holds the diff).
+  void mark_relay(std::uint32_t writer, std::uint32_t seq) {
+    auto it = map_.find(key(writer, seq));
+    if (it == map_.end() || it->second.relayed) return;
+    it->second.relayed = true;
+    for (const DiffBytes& c : it->second.chunks) relay_bytes_ += c.size();
+  }
+
+  // Drops every unpinned entry whose interval the floor covers: validation
+  // resolved all notices at or below the floor, and grant-chain deltas are
+  // cut above it, so a covered droppable chunk can never serve a fault nor
+  // be relayed again — keeping it would be the FIFO-forever leak.  Pins are
+  // exempt (they are the *only* copy until applied).  Returns the number of
+  // entries dropped and adds their bytes to *bytes_pruned.
+  std::size_t prune_below(const VectorTime& floor, std::size_t* bytes_pruned) {
+    std::size_t dropped = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      const std::uint32_t writer = static_cast<std::uint32_t>(it->first >> 32);
+      const std::uint32_t seq = static_cast<std::uint32_t>(it->first);
+      if (it->second.pinned || writer >= floor.size() || seq > floor[writer]) {
+        ++it;
+        continue;
+      }
+      std::size_t sz = 0;
+      for (const DiffBytes& c : it->second.chunks) sz += c.size();
+      sub_bytes(sz);
+      if (it->second.relayed) relay_bytes_ -= sz;
+      if (bytes_pruned != nullptr) *bytes_pruned += sz;
+      ++dropped;
+      it = map_.erase(it);  // its FIFO key goes stale; eviction tolerates it
+    }
+    return dropped;
   }
 
   std::size_t bytes() const { return bytes_; }
   std::size_t pinned_bytes() const { return pinned_bytes_; }
+  std::size_t relay_bytes() const { return relay_bytes_; }
   std::size_t entries() const { return map_.size(); }
 
  private:
   static std::uint64_t key(std::uint32_t writer, std::uint32_t seq) {
     return (static_cast<std::uint64_t>(writer) << 32) | seq;
   }
+  void add_bytes(std::size_t n) {
+    bytes_ += n;
+    if (total_ != nullptr) total_->fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub_bytes(std::size_t n) {
+    bytes_ -= n;
+    if (total_ != nullptr) total_->fetch_sub(n, std::memory_order_relaxed);
+  }
   std::unordered_map<std::uint64_t, Entry> map_;
   std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
   std::size_t bytes_ = 0;
   std::size_t pinned_bytes_ = 0;  // subset of bytes_ held by pinned entries
+  std::size_t relay_bytes_ = 0;   // subset of bytes_ retained for the relay
+  std::atomic<std::size_t>* total_ = nullptr;  // node-wide mirror of bytes_
 };
 
 struct PageEntry {

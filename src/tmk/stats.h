@@ -49,6 +49,12 @@ struct DsmStatsSnapshot {
   std::uint64_t gc_records_reclaimed = 0;    // interval records dropped at
                                              // barrier GC (node + mgr logs)
   std::uint64_t gc_diff_bytes_reclaimed = 0; // diff-store bytes freed by GC
+  std::uint64_t gc_exchanges = 0;            // on-demand GC exchanges this
+                                             // node rooted (ceiling crossed)
+  std::uint64_t relay_chunks_pruned = 0;     // retained relay cache entries
+                                             // dropped once a grant/GC floor
+                                             // proved them redundant
+  std::uint64_t relay_bytes_pruned = 0;      // ...and their bytes
   std::uint64_t lock_acquires = 0;
   std::uint64_t lock_acquires_cached = 0;  // satisfied locally (node was tail)
   std::uint64_t barriers = 0;
@@ -92,6 +98,9 @@ struct DsmStatsSnapshot {
     invalidations += o.invalidations;
     gc_records_reclaimed += o.gc_records_reclaimed;
     gc_diff_bytes_reclaimed += o.gc_diff_bytes_reclaimed;
+    gc_exchanges += o.gc_exchanges;
+    relay_chunks_pruned += o.relay_chunks_pruned;
+    relay_bytes_pruned += o.relay_bytes_pruned;
     lock_acquires += o.lock_acquires;
     lock_acquires_cached += o.lock_acquires_cached;
     barriers += o.barriers;
@@ -130,6 +139,9 @@ struct DsmStats {
   std::atomic<std::uint64_t> invalidations{0};
   std::atomic<std::uint64_t> gc_records_reclaimed{0};
   std::atomic<std::uint64_t> gc_diff_bytes_reclaimed{0};
+  std::atomic<std::uint64_t> gc_exchanges{0};
+  std::atomic<std::uint64_t> relay_chunks_pruned{0};
+  std::atomic<std::uint64_t> relay_bytes_pruned{0};
   std::atomic<std::uint64_t> lock_acquires{0};
   std::atomic<std::uint64_t> lock_acquires_cached{0};
   std::atomic<std::uint64_t> barriers{0};
@@ -165,6 +177,9 @@ struct DsmStats {
     s.invalidations = invalidations.load(std::memory_order_relaxed);
     s.gc_records_reclaimed = gc_records_reclaimed.load(std::memory_order_relaxed);
     s.gc_diff_bytes_reclaimed = gc_diff_bytes_reclaimed.load(std::memory_order_relaxed);
+    s.gc_exchanges = gc_exchanges.load(std::memory_order_relaxed);
+    s.relay_chunks_pruned = relay_chunks_pruned.load(std::memory_order_relaxed);
+    s.relay_bytes_pruned = relay_bytes_pruned.load(std::memory_order_relaxed);
     s.lock_acquires = lock_acquires.load(std::memory_order_relaxed);
     s.lock_acquires_cached = lock_acquires_cached.load(std::memory_order_relaxed);
     s.barriers = barriers.load(std::memory_order_relaxed);

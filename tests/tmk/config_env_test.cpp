@@ -120,6 +120,45 @@ TEST(ConfigEnv, LockPushExplicitAssignmentAndCacheGate) {
   EXPECT_FALSE(d.lock_push_enabled());  // pushes would have nowhere to park
 }
 
+// The on-demand GC ceiling: off by default (unbounded metadata, matching
+// the original TreadMarks between reclamation points), armed by the env
+// knob, and counted as a floor producer the moment it is on.
+TEST(ConfigEnv, MetaCeilingKnobOverridesDefault) {
+  EXPECT_EQ(DsmConfig{}.meta_ceiling_bytes, 0u);
+  EXPECT_FALSE(DsmConfig{}.on_demand_gc_enabled());
+  {
+    ScopedEnv env("TMK_META_CEILING_BYTES", "262144");
+    DsmConfig c;
+    EXPECT_EQ(c.meta_ceiling_bytes, 262144u);
+    EXPECT_TRUE(c.on_demand_gc_enabled());
+    // The ceiling alone must enable GC floors even with every barrier-time
+    // and fork/join reclamation point off.
+    c.gc_at_barriers = false;
+    c.gc_fork_join = false;
+    c.gc_lock_floors = false;
+    EXPECT_TRUE(c.gc_floors_enabled());
+  }
+  DsmConfig off;
+  off.gc_at_barriers = false;
+  off.gc_fork_join = false;
+  EXPECT_FALSE(off.gc_floors_enabled());
+}
+
+TEST(ConfigEnvDeathTest, RejectsMalformedMetaCeilingKnob) {
+  {
+    ScopedEnv env("TMK_META_CEILING_BYTES", "256k");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_META_CEILING_BYTES");
+  }
+  {
+    ScopedEnv env("TMK_META_CEILING_BYTES", "-1");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_META_CEILING_BYTES");
+  }
+  {
+    ScopedEnv env("TMK_META_CEILING_BYTES", "99999999999999999999999999");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "overflows");
+  }
+}
+
 TEST(ConfigEnvDeathTest, RejectsMalformedLockPushKnobs) {
   {
     ScopedEnv env("TMK_LOCK_PUSH_BYTES", "16k");

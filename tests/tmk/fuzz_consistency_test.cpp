@@ -109,6 +109,7 @@ struct FuzzConfig {
   std::size_t lock_push;           // lock_push_bytes; 0 = off
   std::uint32_t arity = 0;         // barrier_tree_arity; 0 = centralized
   bool shard = false;              // hash-sharded lock/sema managers
+  std::size_t ceiling = 0;         // meta_ceiling_bytes; 0 = off
 };
 
 // One node's lock-guarded counter increment, optionally nested with a
@@ -146,6 +147,7 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
   c.lock_push_bytes = fc.lock_push;
   c.barrier_tree_arity = fc.arity;
   c.shard_managers = fc.shard;
+  c.meta_ceiling_bytes = fc.ceiling;
   c.time.cpu_scale = 0.0;
 
   std::vector<std::uint64_t> final_words(kWords + kWordsPerPage, 0);
@@ -218,6 +220,24 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
         final_words[kWords + k] = counters[k];
     }
   });
+
+  // Ceiling legs additionally assert the footprint invariant the on-demand
+  // GC exists for: no node's consistency metadata may end far above the
+  // ceiling, under any schedule the seed produced.  (The slack absorbs the
+  // metadata of the epochs between the last exchange and the end of the
+  // run.)  A gc-off ceiling leg with a few epochs must also actually have
+  // exchanged — a silently inert ceiling would pass the bound vacuously on
+  // short runs while leaking on long ones.
+  if (fc.ceiling > 0) {
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      EXPECT_LE(rt.node(i).meta_footprint().total_bytes(),
+                fc.ceiling + 32 * 1024)
+          << "seed=" << seed << " node=" << i << " ceiling=" << fc.ceiling;
+    }
+    if (!fc.gc && epochs >= 3)
+      EXPECT_GT(rt.total_stats().gc_exchanges, 0u)
+          << "seed=" << seed << " ceiling=" << fc.ceiling;
+  }
   return final_words;
 }
 
@@ -258,6 +278,16 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
   matrix.push_back({0, true, 0, false, 0, 2, true});  // cache off + tree
   matrix.push_back({4, true, 16 * 1024, true, 0, 2, true});
   matrix.push_back({4, true, 16 * 1024, false, 16 * 1024, 1, true});
+  // On-demand ceiling legs: a tight 4KB ceiling forces GC exchanges in the
+  // middle of the schedule (including mid lock-only stretches), alone, on
+  // top of barrier GC, under the migratory lock push (whose relay chunks
+  // the exchange floor prunes), across the whole stack at once, and with
+  // the diff cache off (exchange floors with nowhere to pin prefetches).
+  matrix.push_back({0, false, 16 * 1024, false, 0, 0, false, 4096});
+  matrix.push_back({0, true, 16 * 1024, false, 0, 0, false, 4096});
+  matrix.push_back({0, false, 16 * 1024, false, 16 * 1024, 0, false, 4096});
+  matrix.push_back({4, true, 16 * 1024, true, 0, 2, true, 4096});
+  matrix.push_back({0, false, 0, false, 0, 0, false, 4096});
 
   for (std::size_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = seed_base + s;
@@ -289,6 +319,7 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
                    << " gc=" << fc.gc << " cache=" << fc.cache_bytes
                    << " update=" << fc.update << " lockpush=" << fc.lock_push
                    << " arity=" << fc.arity << " shard=" << fc.shard
+                   << " ceiling=" << fc.ceiling
                    << " (replay: NOW_FUZZ_SEED_BASE=" << seed
                    << " NOW_FUZZ_SEEDS=1)");
       const auto got = run_fuzz(fc, seed, epochs);

@@ -9,6 +9,7 @@
 // diff-store entry — enforced by a loud NOW_CHECK on the grant path).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -266,6 +267,99 @@ TEST(LockPush, GcFloorsNeverReclaimPushedSources) {
   // Both machines must actually have been on for the run to mean anything.
   EXPECT_GT(s.gc_records_reclaimed, 0u);
   EXPECT_GT(s.lock_pushes_sent, 0u);
+}
+
+// Relay retention meets the on-demand ceiling: on a barrier-free migratory
+// chain the relayed chunks are the push protocol's only unbounded state, and
+// the GC exchange's applied floor is the only thing allowed to prune them.
+// A long chain under a tight ceiling must (a) actually prune relay chunks,
+// (b) keep pushing and hitting across the prunes (a pruned chunk is covered
+// by the floor, so no future grant may want it — pushes source newer diffs),
+// (c) keep every node's retained relay bytes on a plateau instead of the
+// handoff-linear growth the unceilinged run shows, and (d) stay
+// byte-identical to the plain pull path.
+TEST(LockPush, CeilingPrunesRelayChunksWithoutBreakingThePush) {
+  constexpr std::size_t kIters = 40;  // x4 nodes: 160 critical sections
+  // Tight enough that ~160 handoffs' worth of records + diffs + relays
+  // crosses it several times over.
+  constexpr std::size_t kCeiling = 6 * 1024;
+
+  // bound_loop with a per-iteration probe of this node's retained relay
+  // bytes (the relay_bytes subset of its own diff caches).
+  auto probed_loop = [](Tmk& tmk, std::size_t* relay_peak,
+                        std::vector<std::uint64_t>* out) {
+    gptr<std::uint64_t> bound(kPageSize);
+    if (tmk.id() == 0) {
+      tmk.lock_acquire(0);
+      bound[0] = 1;
+      bound[kWpp] = 1;
+      tmk.lock_release(0);
+    }
+    tmk.barrier();
+    for (std::size_t i = 0; i < kIters; ++i) {
+      tmk.lock_acquire(0);
+      const std::uint64_t v = bound[0];
+      bound[0] = v + 1;
+      for (std::size_t k = 0; k < 8; ++k)
+        bound[kWpp + 1 + (v + k) % 8] = v * 100 + k;
+      tmk.lock_release(0);
+      if (relay_peak != nullptr)
+        *relay_peak =
+            std::max(*relay_peak, tmk.node.meta_footprint().relay_bytes);
+      std::this_thread::yield();
+    }
+    tmk.barrier();
+    if (out != nullptr && tmk.id() == 0) {
+      out->push_back(bound[0]);
+      for (std::size_t k = 0; k < 16; ++k) out->push_back(bound[kWpp + k]);
+    }
+  };
+
+  std::vector<std::uint64_t> pull, push_free, push_capped;
+  std::vector<std::size_t> free_peaks(4, 0), capped_peaks(4, 0);
+  DsmStatsSnapshot s;
+  {
+    DsmRuntime rt(cfg(4, 0));
+    rt.run_spmd([&](Tmk& tmk) { probed_loop(tmk, nullptr, &pull); });
+  }
+  {
+    DsmRuntime rt(cfg(4, 16 * 1024));
+    rt.run_spmd(
+        [&](Tmk& tmk) { probed_loop(tmk, &free_peaks[tmk.id()], &push_free); });
+  }
+  {
+    auto c = cfg(4, 16 * 1024);
+    c.meta_ceiling_bytes = kCeiling;
+    DsmRuntime rt(c);
+    rt.run_spmd([&](Tmk& tmk) {
+      probed_loop(tmk, &capped_peaks[tmk.id()], &push_capped);
+    });
+    s = rt.total_stats();
+  }
+
+  // (d) identity first: the prunes changed bytes held, never bytes applied.
+  EXPECT_EQ(pull, push_free);
+  EXPECT_EQ(pull, push_capped);
+
+  // (a) the ceiling fired and the exchange floors pruned retained relays.
+  EXPECT_GT(s.gc_exchanges, 0u);
+  EXPECT_GT(s.relay_chunks_pruned, 0u);
+  EXPECT_GT(s.relay_bytes_pruned, 0u);
+
+  // (b) the chain kept pushing, and grants kept landing usefully, across
+  // every prune (the floor only covers intervals no grant may want again).
+  EXPECT_GT(s.lock_pushes_sent, 0u);
+  EXPECT_GT(s.lock_push_hits, 0u);
+
+  // (c) retention plateaus: some unceilinged node must retain more relay
+  // bytes than any capped node ever held, and each capped node's retained
+  // relay stays under the ceiling (relay is a subset of the bounded meta).
+  const std::size_t free_max =
+      *std::max_element(free_peaks.begin(), free_peaks.end());
+  const std::size_t capped_max =
+      *std::max_element(capped_peaks.begin(), capped_peaks.end());
+  EXPECT_GT(free_max, capped_max);
+  EXPECT_LE(capped_max, kCeiling + kCeiling);
 }
 
 // The push parks chunks in the requester-side diff cache, so it is inert —
