@@ -65,6 +65,17 @@ int main(int argc, char** argv) {
     extra_head.push_back("RelayPrune Tmk");
     extra_head.push_back("RelayKB Tmk");
   }
+  // Lossy-wire channel columns, only when the wire can actually lose or the
+  // protocol is armed (TMK_NET_* knobs): retransmitted copies, discarded
+  // duplicates, out-of-order holds, and what acking the traffic cost.  With
+  // the knobs at rest these are structurally zero and the rows stay clean.
+  const bool chan_on = dsm.chaos_enabled() || dsm.net_reliable;
+  if (chan_on) {
+    extra_head.push_back("Retrans Tmk");
+    extra_head.push_back("DupDrop Tmk");
+    extra_head.push_back("ReoHold Tmk");
+    extra_head.push_back("AckKB Tmk");
+  }
   Table c(extra_head);
   auto add = [&](const char* name, const VersionedResults& r) {
     t.add_row({name, Table::fmt(r.omp.traffic.wire_mbytes()),
@@ -103,6 +114,13 @@ int main(int argc, char** argv) {
       row.push_back(Table::fmt(r.tmk.dsm.relay_chunks_pruned));
       row.push_back(Table::fmt(
           static_cast<double>(r.tmk.dsm.relay_bytes_pruned) / 1024.0, 1));
+    }
+    if (chan_on) {
+      row.push_back(Table::fmt(r.tmk.traffic.chan.retransmits));
+      row.push_back(Table::fmt(r.tmk.traffic.chan.dup_drops));
+      row.push_back(Table::fmt(r.tmk.traffic.chan.reorder_holds));
+      row.push_back(Table::fmt(
+          static_cast<double>(r.tmk.traffic.chan.ack_wire_bytes) / 1024.0, 1));
     }
     c.add_row(std::move(row));
   };

@@ -215,7 +215,72 @@ def main():
                 failures.append("soak ceiling_off curve missing or too short "
                                 "to calibrate the gate")
 
+    # Lossy-wire overhead: `bench_chaos --json` against
+    # baselines/chaos_overhead.json.  Three gates:
+    #  - identity: the off leg (channel disabled) must match the baseline
+    #    *exactly* — message count, payload bytes, wire bytes, checksum.
+    #    With every knob off the wire must be the pre-chaos wire, bit for
+    #    bit, and any drift is an accidental default flip somewhere;
+    #  - byte equality: every leg's checksum must equal the off leg's —
+    #    exactly-once delivery may cost bytes, never change them;
+    #  - overhead caps: reliable (clean wire) and drop1 (1% loss) wire
+    #    bytes stay under their configured multiples of the off leg.
+    chaos_base = baseline.get("chaos_overhead") or {}
+    chaos_meas = (measured.get("chaos_overhead") or {}).get("legs", {})
+    if chaos_base:
+        if not chaos_meas:
+            failures.append("chaos_overhead section missing from bench_chaos output")
+        else:
+            off_base = chaos_base.get("off", {})
+            off_meas = chaos_meas.get("off", {})
+            for field in ("messages", "payload_bytes", "wire_bytes", "checksum"):
+                got, want = off_meas.get(field), off_base.get(field)
+                line = "chaos off %-13s %20s  (baseline %s, exact)" % (
+                    field, got, want)
+                if got != want:
+                    failures.append("KNOBS-OFF WIRE DRIFT: " + line)
+                else:
+                    print("  ok   " + line)
+            for field in ("retransmits", "acks_sent"):
+                if int(off_meas.get(field, 0)) != 0:
+                    failures.append("chaos off leg has nonzero %s — the channel "
+                                    "ran with every knob off" % field)
+            off_sum = off_meas.get("checksum")
+            off_wire = float(off_meas.get("wire_bytes", 0) or 1)
+            for leg, r in chaos_meas.items():
+                if leg == "off":
+                    continue
+                if r.get("checksum") != off_sum:
+                    failures.append("BYTE DIVERGENCE: chaos leg %r checksum %s "
+                                    "!= off leg %s" % (leg, r.get("checksum"),
+                                                       off_sum))
+                else:
+                    print("  ok   chaos %-9s checksum matches the perfect wire"
+                          % leg)
+            for leg, cap_key in (("reliable", "max_reliable_wire_ratio"),
+                                 ("drop1", "max_drop_wire_ratio")):
+                if leg not in chaos_meas:
+                    failures.append("chaos leg %r missing from bench_chaos output"
+                                    % leg)
+                    continue
+                cap = float(chaos_base.get(cap_key, 1.5))
+                ratio = float(chaos_meas[leg]["wire_bytes"]) / off_wire
+                line = "chaos %-9s wire overhead %5.3fx  (cap %.2fx)" % (
+                    leg, ratio, cap)
+                if ratio > cap:
+                    failures.append("RETRANSMIT OVERHEAD REGRESSION: " + line)
+                else:
+                    print("  ok   " + line)
+            if "drop1" in chaos_meas and \
+                    int(chaos_meas["drop1"].get("retransmits", 0)) == 0:
+                failures.append("chaos drop1 leg recovered nothing — the fault "
+                                "injector is inert and the overhead gate vacuous")
+
     if args.update:
+        if chaos_base and chaos_meas and "off" in chaos_meas:
+            for field in ("messages", "payload_bytes", "wire_bytes", "checksum"):
+                chaos_base.setdefault("off", {})[field] = \
+                    chaos_meas["off"].get(field)
         if soak_base and soak_meas:
             on_pts = (soak_meas.get("modes", {}).get("ceiling_on") or {}).get(
                 "points", [])

@@ -1,0 +1,38 @@
+// Environment-variable overrides for configuration defaults.
+//
+// CI runs the whole test suite under alternate configurations (prefetch
+// windows, update mode, fault injection) by overriding config *defaults*
+// through the environment; code that assigns a field explicitly keeps its
+// value.  An empty variable counts as unset.  Malformed values fail loudly:
+// a CI matrix leg whose knob silently parsed as 0 (or as a digit prefix of a
+// typo) would green-light a configuration that never ran.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace now::env {
+
+inline std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  for (const char* p = v; *p != '\0'; ++p)
+    NOW_CHECK(*p >= '0' && *p <= '9')
+        << "malformed " << name << "='" << v
+        << "': expected a non-negative decimal integer";
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+  NOW_CHECK(errno != ERANGE) << name << "='" << v << "' overflows";
+  return static_cast<std::size_t>(parsed);
+}
+
+// Boolean env-default override: 0 = off, any other integer = on.
+inline bool env_flag(const char* name, bool def) {
+  return env_size(name, def ? 1 : 0) != 0;
+}
+
+}  // namespace now::env

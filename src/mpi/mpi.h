@@ -58,7 +58,13 @@ class Request {
 
 class MpiRuntime {
  public:
-  explicit MpiRuntime(MpiConfig cfg) : cfg_(cfg), net_(cfg.num_ranks, cfg.net) {}
+  // The MPI transport models TCP (MPICH), which is reliable on its own:
+  // the simnet reliability channel stays off regardless of the TMK_NET_*
+  // chaos knobs (those are DSM-scoped — MPI ranks have no service thread
+  // to drive retransmission).  Only send-side type validation is armed;
+  // every MPI message travels as type 1.
+  explicit MpiRuntime(MpiConfig cfg)
+      : cfg_(cfg), net_(cfg.num_ranks, cfg.net, mpi_channel()) {}
 
   // Runs `fn` on every rank concurrently; returns when all ranks finish.
   void run(const std::function<void(Comm&)>& fn);
@@ -73,6 +79,11 @@ class MpiRuntime {
 
  private:
   friend class Comm;
+  static sim::ChannelConfig mpi_channel() {
+    sim::ChannelConfig c;
+    c.num_msg_types = 2;  // type 1 is the only MPI discriminator
+    return c;
+  }
   MpiConfig cfg_;
   sim::Network net_;
   std::vector<sim::VirtualClock*> clocks_;  // populated while run() is active

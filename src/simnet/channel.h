@@ -1,0 +1,458 @@
+// Lossy-wire fault injection and the TreadMarks retransmission protocol that
+// survives it.
+//
+// The paper's TreadMarks runs over UDP: an unreliable datagram wire made
+// reliable by an operation-level retransmission protocol.  The default
+// simnet wire is perfect, so that layer was assumed; this module reproduces
+// both halves:
+//
+//  - FaultConfig injects per-link drop / duplicate / reorder / delay-jitter
+//    faults, deterministically: every transmission on a (src, dst) link
+//    draws from a counter-indexed hash of the seed, so a failing schedule
+//    replays exactly from (seed, knobs) with no RNG state to capture.
+//
+//  - Channel restores exactly-once per-(src,dst) FIFO delivery on top of
+//    the faulty wire, before any protocol handler runs: every non-local
+//    message carries a per-link sequence number; the receiver dedups
+//    (`ch_seq <= delivered`), holds out-of-order arrivals until the gap
+//    fills, and acks cumulatively; the sender keeps unacked transmissions
+//    in a retransmit queue paced by *host* timers with exponential backoff
+//    (virtual clocks freeze while every thread blocks, so retransmission
+//    liveness cannot come from virtual time; the modeled cost of a loss is
+//    charged separately by re-stamping each retransmission's virtual send
+//    time one RTO later).  Acks piggyback on reverse traffic — any message
+//    or retransmission the other direction carries the cumulative ack for
+//    free — and a standalone ack message is sent only when the reverse
+//    link has been idle past a flush timeout.
+//
+// Channel sequencing costs nothing when disabled: Network bypasses this
+// module entirely and the wire is the same perfect wire as before.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "simnet/mailbox.h"
+#include "simnet/message.h"
+#include "simnet/model.h"
+#include "simnet/traffic.h"
+
+namespace now::sim {
+
+// Stateless splitmix64 finalizer: the fault stream for transmission n on
+// link (src, dst) is fault_mix(seed ^ fault_mix(link) ^ n) — identical
+// draws for identical (seed, link, n), no shared state.
+inline std::uint64_t fault_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Seeded per-link fault probabilities, all default off.  Probabilities are
+// parts-per-million of *transmissions* (retransmissions draw again — a
+// retransmitted packet can itself be lost).
+struct FaultConfig {
+  std::uint32_t drop_ppm = 0;     // transmission vanishes
+  std::uint32_t dup_ppm = 0;      // delivered twice
+  std::uint32_t reorder_ppm = 0;  // held back, delivered after the next one
+  std::uint64_t jitter_ns = 0;    // extra arrival delay in [0, jitter_ns)
+  std::uint64_t seed = 1;
+
+  bool any() const {
+    return drop_ppm != 0 || dup_ppm != 0 || reorder_ppm != 0 || jitter_ns != 0;
+  }
+
+  // The TMK_NET_* chaos knobs (config *defaults*, like every TMK_ knob:
+  // code that assigns the field explicitly is immune).
+  static FaultConfig from_env() {
+    FaultConfig f;
+    f.drop_ppm = static_cast<std::uint32_t>(env::env_size("TMK_NET_DROP_PPM", 0));
+    f.dup_ppm = static_cast<std::uint32_t>(env::env_size("TMK_NET_DUP_PPM", 0));
+    f.reorder_ppm =
+        static_cast<std::uint32_t>(env::env_size("TMK_NET_REORDER_PPM", 0));
+    f.jitter_ns = env::env_size("TMK_NET_JITTER_NS", 0);
+    f.seed = env::env_size("TMK_NET_FAULT_SEED", 1);
+    return f;
+  }
+};
+
+struct ChannelConfig {
+  // Sequencing + retransmission on even with a clean wire (measures the
+  // protocol's zero-loss overhead).  Any injected fault forces it on — a
+  // lossy wire without the protocol would simply corrupt the run.
+  bool reliable = false;
+  FaultConfig fault;
+
+  // Discriminator standalone acks are sent with (consumed inside the
+  // channel, never surfaced to a handler) and the size of the sender-side
+  // message-type table Network::send validates against (0 = no validation,
+  // for protocol-agnostic uses of the raw simnet).
+  std::uint16_t ack_type = 0;
+  std::uint16_t num_msg_types = 0;
+
+  // Host-clock pacing of the maintenance loop.  The RTO backs off
+  // exponentially per retry; max_retries bounds it loudly — with every
+  // fault probability < 1, that many consecutive losses of the same packet
+  // means the protocol (not the wire) is broken.
+  // The RTO must comfortably exceed ack_flush + quantum + scheduling noise,
+  // or a busy host manufactures spurious retransmits of already-delivered
+  // messages (measured: 1ms RTO spuriously retransmitted ~20% of a clean
+  // wire's messages under parallel test load; 8ms is quiet).
+  std::uint32_t quantum_host_us = 250;    // recv poll + maintenance period
+  std::uint32_t rto_host_us = 8000;       // initial retransmit timeout
+  std::uint32_t ack_flush_host_us = 500;  // reverse-link idle before a bare ack
+  std::uint32_t max_retries = 24;
+
+  // Modeled (virtual-clock) cost of a loss: each retransmission is
+  // re-stamped this much later than the previous attempt, so a dropped
+  // packet charges its round-trip-scale recovery latency to the virtual
+  // timeline even though the host-side retry pacing is invisible to it.
+  std::uint64_t rto_virtual_ns = 1000000;
+
+  bool enabled() const { return reliable || fault.any(); }
+};
+
+// Per-(src,dst) reliability channels for every node of one Network.
+// Thread model: one endpoint per node, its mutex serializing that node's
+// send path (compute + service threads) with its recv/maintenance path.
+// Cross-endpoint interaction goes only through the thread-safe mailboxes,
+// so no lock is ever held while taking another endpoint's.
+class Channel {
+ public:
+  Channel(const ChannelConfig& cfg, NetworkModel model,
+          std::vector<std::unique_ptr<Mailbox>>* boxes, TrafficCounter* traffic)
+      : cfg_(cfg), model_(model), boxes_(boxes), traffic_(traffic) {
+    eps_.reserve(boxes->size());
+    for (std::size_t i = 0; i < boxes->size(); ++i)
+      eps_.push_back(std::make_unique<Endpoint>(boxes->size()));
+  }
+
+  bool enabled() const { return cfg_.enabled(); }
+
+  // Non-local send: stamp the link sequence number, piggyback the reverse
+  // link's cumulative ack, queue a retransmit copy, transmit through the
+  // fault injector.
+  void send(Message&& m) {
+    Endpoint& ep = *eps_[m.src];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    TxLink& tx = ep.tx[m.dst];
+    RxLink& rx = ep.rx[m.dst];
+    m.ch_seq = ++tx.next_seq;
+    m.ch_ack = rx.delivered;
+    rx.ack_owed = false;  // this message carries the ack
+    TxEntry e;
+    e.msg = m;  // payload copy kept until acked
+    e.virtual_ts = m.send_ts_ns;
+    e.next_due = Clock::now() + std::chrono::microseconds(cfg_.rto_host_us);
+    tx.unacked.push_back(std::move(e));
+    wire_send(tx, std::move(m));
+  }
+
+  // Blocking channel-aware receive: pops raw wire arrivals, reassembles
+  // exactly-once per-link FIFO into the ready queue, and runs retransmit /
+  // ack maintenance whenever the wire goes quiet for a quantum.
+  std::optional<Message> recv(NodeId node) {
+    Endpoint& ep = *eps_[node];
+    const auto quantum = std::chrono::microseconds(cfg_.quantum_host_us);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(ep.mu);
+        if (!ep.ready.empty()) return pop_ready(ep);
+      }
+      Message raw;
+      switch ((*boxes_)[node]->pop_for(raw, quantum)) {
+        case Mailbox::PopStatus::kMessage:
+          ingest(node, std::move(raw));
+          break;
+        case Mailbox::PopStatus::kClosed: {
+          std::lock_guard<std::mutex> lock(ep.mu);
+          if (!ep.ready.empty()) return pop_ready(ep);
+          return std::nullopt;
+        }
+        case Mailbox::PopStatus::kTimeout:
+          break;
+      }
+      maintain(node);
+    }
+  }
+
+  std::optional<Message> try_recv(NodeId node) {
+    Endpoint& ep = *eps_[node];
+    while (auto raw = (*boxes_)[node]->try_pop()) ingest(node, std::move(*raw));
+    maintain(node);
+    std::lock_guard<std::mutex> lock(ep.mu);
+    if (!ep.ready.empty()) return pop_ready(ep);
+    return std::nullopt;
+  }
+
+  ChannelSnapshot snapshot() const {
+    ChannelSnapshot s;
+    s.drops_injected = stats_.drops_injected.load(std::memory_order_relaxed);
+    s.dups_injected = stats_.dups_injected.load(std::memory_order_relaxed);
+    s.reorders_injected = stats_.reorders_injected.load(std::memory_order_relaxed);
+    s.retransmits = stats_.retransmits.load(std::memory_order_relaxed);
+    s.retransmit_wire_bytes =
+        stats_.retransmit_wire_bytes.load(std::memory_order_relaxed);
+    s.dup_drops = stats_.dup_drops.load(std::memory_order_relaxed);
+    s.reorder_holds = stats_.reorder_holds.load(std::memory_order_relaxed);
+    s.acks_sent = stats_.acks_sent.load(std::memory_order_relaxed);
+    s.ack_wire_bytes = stats_.ack_wire_bytes.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_stats() {
+    stats_.drops_injected.store(0, std::memory_order_relaxed);
+    stats_.dups_injected.store(0, std::memory_order_relaxed);
+    stats_.reorders_injected.store(0, std::memory_order_relaxed);
+    stats_.retransmits.store(0, std::memory_order_relaxed);
+    stats_.retransmit_wire_bytes.store(0, std::memory_order_relaxed);
+    stats_.dup_drops.store(0, std::memory_order_relaxed);
+    stats_.reorder_holds.store(0, std::memory_order_relaxed);
+    stats_.acks_sent.store(0, std::memory_order_relaxed);
+    stats_.ack_wire_bytes.store(0, std::memory_order_relaxed);
+  }
+
+  // Test hook: transmissions of `node` not yet cumulatively acked.
+  std::size_t unacked_total(NodeId node) const {
+    Endpoint& ep = *eps_[node];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    std::size_t n = 0;
+    for (const TxLink& tx : ep.tx) n += tx.unacked.size();
+    return n;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct TxEntry {
+    Message msg;  // as stamped at first transmission
+    std::uint32_t retries = 0;
+    std::uint64_t virtual_ts = 0;  // virtual send time of the last attempt
+    Clock::time_point next_due;
+  };
+  struct TxLink {  // this node -> dst
+    std::uint64_t next_seq = 0;
+    std::uint64_t fault_draws = 0;  // transmissions attempted (fault stream pos)
+    std::deque<TxEntry> unacked;
+    std::optional<Message> limbo;  // reorder: held until the next transmission
+  };
+  struct RxLink {  // src -> this node
+    std::uint64_t delivered = 0;  // highest in-order ch_seq surfaced
+    std::map<std::uint64_t, Message> held;
+    bool ack_owed = false;
+    Clock::time_point ack_due;
+  };
+  struct Endpoint {
+    explicit Endpoint(std::size_t n) : tx(n), rx(n) {}
+    mutable std::mutex mu;
+    std::vector<TxLink> tx;
+    std::vector<RxLink> rx;
+    std::deque<Message> ready;  // exactly-once per-link FIFO, handler-visible
+    Clock::time_point next_maintain{};
+  };
+  struct Stats {
+    std::atomic<std::uint64_t> drops_injected{0};
+    std::atomic<std::uint64_t> dups_injected{0};
+    std::atomic<std::uint64_t> reorders_injected{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> retransmit_wire_bytes{0};
+    std::atomic<std::uint64_t> dup_drops{0};
+    std::atomic<std::uint64_t> reorder_holds{0};
+    std::atomic<std::uint64_t> acks_sent{0};
+    std::atomic<std::uint64_t> ack_wire_bytes{0};
+  };
+
+  Message pop_ready(Endpoint& ep) {  // ep.mu held
+    Message m = std::move(ep.ready.front());
+    ep.ready.pop_front();
+    return m;
+  }
+
+  // One transmission attempt on the wire, through the fault injector.
+  // Caller holds the *sender's* endpoint mutex; only the (thread-safe)
+  // destination mailbox is touched beyond it.  Traffic is recorded per
+  // attempt: duplicates and retransmissions are real packets on the real
+  // wire, which is exactly the overhead Table 2 should see.
+  void wire_send(TxLink& tx, Message&& m) {
+    traffic_->record(m.type, m.payload.size(),
+                     model_.wire_bytes(m.payload.size()));
+    const FaultConfig& f = cfg_.fault;
+    if (!f.any()) {
+      deliver(tx, std::move(m), 0, false);
+      return;
+    }
+    const std::uint64_t link =
+        (static_cast<std::uint64_t>(m.src) << 32) | m.dst;
+    const std::uint64_t base =
+        fault_mix(f.seed ^ fault_mix(link) ^ ++tx.fault_draws);
+    const auto draw = [base](std::uint64_t stream) {
+      return fault_mix(base ^ (stream * 0x9e3779b97f4a7c15ULL));
+    };
+    if (f.drop_ppm != 0 && draw(1) % 1000000 < f.drop_ppm) {
+      stats_.drops_injected.fetch_add(1, std::memory_order_relaxed);
+      return;  // vanished; a held reorder victim (if any) stays held
+    }
+    const bool dup = f.dup_ppm != 0 && draw(2) % 1000000 < f.dup_ppm;
+    const bool reorder = f.reorder_ppm != 0 && draw(3) % 1000000 < f.reorder_ppm;
+    const std::uint64_t jitter =
+        f.jitter_ns != 0 ? draw(4) % f.jitter_ns : 0;
+    if (dup) {
+      Message copy = m;
+      traffic_->record(copy.type, copy.payload.size(),
+                       model_.wire_bytes(copy.payload.size()));
+      stats_.dups_injected.fetch_add(1, std::memory_order_relaxed);
+      deliver(tx, std::move(copy), jitter, false);
+    }
+    deliver(tx, std::move(m), jitter, reorder);
+  }
+
+  // Physical delivery with the link's reorder hold-back: a reordered packet
+  // parks in limbo and rides out *after* the link's next delivery (liveness:
+  // an unacked parked packet is retransmitted, and that retransmission is
+  // itself the next transmission that flushes the limbo).
+  void deliver(TxLink& tx, Message&& m, std::uint64_t extra_ns, bool reorder) {
+    m.arrive_ts_ns =
+        m.send_ts_ns + model_.transit_ns(m.payload.size()) + extra_ns;
+    if (reorder && !tx.limbo.has_value()) {
+      stats_.reorders_injected.fetch_add(1, std::memory_order_relaxed);
+      tx.limbo = std::move(m);
+      return;
+    }
+    const NodeId dst = m.dst;
+    (*boxes_)[dst]->push(std::move(m));
+    if (tx.limbo.has_value()) {
+      Message held = std::move(*tx.limbo);
+      tx.limbo.reset();
+      (*boxes_)[dst]->push(std::move(held));
+    }
+  }
+
+  // Receiver-side reassembly: ack application, dedup, gap hold, in-order
+  // release into the ready queue.
+  void ingest(NodeId node, Message&& m) {
+    Endpoint& ep = *eps_[node];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    if (m.src == m.dst) {  // local fast path was never sequenced
+      ep.ready.push_back(std::move(m));
+      return;
+    }
+    TxLink& tx = ep.tx[m.src];
+    RxLink& rx = ep.rx[m.src];
+    // Cumulative ack for our own transmissions toward m.src (piggybacked on
+    // every message, including duplicates and pure acks).
+    while (!tx.unacked.empty() && tx.unacked.front().msg.ch_seq <= m.ch_ack)
+      tx.unacked.pop_front();
+    if (m.ch_seq == 0) {
+      // Unsequenced: a standalone ack (consumed here) or a message sent
+      // before the channel was enabled — surfaced as-is.
+      if (m.type == cfg_.ack_type) return;
+      ep.ready.push_back(std::move(m));
+      return;
+    }
+    if (m.ch_seq <= rx.delivered) {
+      // Duplicate of something already surfaced (injected dup, or a
+      // retransmission whose original made it).  Re-arm the ack so the
+      // sender stops retransmitting.
+      stats_.dup_drops.fetch_add(1, std::memory_order_relaxed);
+      owe_ack(rx);
+      return;
+    }
+    if (m.ch_seq == rx.delivered + 1) {
+      rx.delivered = m.ch_seq;
+      ep.ready.push_back(std::move(m));
+      auto it = rx.held.begin();
+      while (it != rx.held.end() && it->first == rx.delivered + 1) {
+        rx.delivered = it->first;
+        ep.ready.push_back(std::move(it->second));
+        it = rx.held.erase(it);
+      }
+      owe_ack(rx);
+      return;
+    }
+    // Gap: a predecessor is missing (reordered or dropped).  Hold until it
+    // arrives or is retransmitted.
+    if (rx.held.emplace(m.ch_seq, std::move(m)).second)
+      stats_.reorder_holds.fetch_add(1, std::memory_order_relaxed);
+    else
+      stats_.dup_drops.fetch_add(1, std::memory_order_relaxed);
+    owe_ack(rx);
+  }
+
+  void owe_ack(RxLink& rx) {
+    if (rx.ack_owed) return;
+    rx.ack_owed = true;
+    rx.ack_due = Clock::now() + std::chrono::microseconds(cfg_.ack_flush_host_us);
+  }
+
+  // Host-paced sender maintenance: retransmit overdue unacked transmissions
+  // (exponential backoff) and flush acks whose reverse link stayed idle.
+  void maintain(NodeId node) {
+    Endpoint& ep = *eps_[node];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    const auto now = Clock::now();
+    if (now < ep.next_maintain) return;
+    ep.next_maintain = now + std::chrono::microseconds(cfg_.quantum_host_us);
+    for (NodeId dst = 0; dst < ep.tx.size(); ++dst) {
+      TxLink& tx = ep.tx[dst];
+      for (TxEntry& e : tx.unacked) {
+        if (now < e.next_due) continue;
+        NOW_CHECK_LT(e.retries, cfg_.max_retries)
+            << "channel " << node << "->" << dst << " seq " << e.msg.ch_seq
+            << " (type " << e.msg.type << ") still unacked after "
+            << e.retries << " retransmissions — ack path broken";
+        ++e.retries;
+        e.next_due = now + std::chrono::microseconds(
+                               cfg_.rto_host_us
+                               << std::min<std::uint32_t>(e.retries, 10));
+        e.virtual_ts += cfg_.rto_virtual_ns;
+        Message copy = e.msg;
+        copy.send_ts_ns = e.virtual_ts;
+        copy.ch_ack = ep.rx[dst].delivered;  // refreshed piggyback
+        ep.rx[dst].ack_owed = false;         // this is reverse traffic
+        stats_.retransmits.fetch_add(1, std::memory_order_relaxed);
+        stats_.retransmit_wire_bytes.fetch_add(
+            model_.wire_bytes(copy.payload.size()), std::memory_order_relaxed);
+        wire_send(tx, std::move(copy));
+      }
+    }
+    for (NodeId src = 0; src < ep.rx.size(); ++src) {
+      RxLink& rx = ep.rx[src];
+      if (!rx.ack_owed || now < rx.ack_due) continue;
+      rx.ack_owed = false;
+      Message a;
+      a.type = cfg_.ack_type;
+      a.src = node;
+      a.dst = src;
+      a.ch_ack = rx.delivered;
+      // Pure acks never surface to a handler, so their virtual timestamps
+      // advance no clock; stamp zero rather than invent a plausible time.
+      stats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
+      stats_.ack_wire_bytes.fetch_add(model_.wire_bytes(0),
+                                      std::memory_order_relaxed);
+      wire_send(ep.tx[src], std::move(a));
+    }
+  }
+
+  ChannelConfig cfg_;
+  NetworkModel model_;
+  std::vector<std::unique_ptr<Mailbox>>* boxes_;
+  TrafficCounter* traffic_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+  Stats stats_;
+};
+
+}  // namespace now::sim

@@ -1,7 +1,9 @@
 // Blocking per-node message queue (the simulated NIC receive ring).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -12,9 +14,22 @@ namespace now::sim {
 
 class Mailbox {
  public:
+  // Outcome of a bounded pop: a message, a timeout (the channel layer's cue
+  // to run retransmit/ack maintenance), or closed-and-drained shutdown.
+  enum class PopStatus { kMessage, kTimeout, kClosed };
+
+  // A push racing `close()` is dropped, not enqueued: the box has already
+  // been (or is being) drained, so a late message would sit in a queue
+  // nobody pops — worse, a shutdown-order-dependent subset *would* be
+  // popped.  Dropping is the simulated NIC losing a frame after the ring is
+  // torn down; the count makes the race observable instead of silent.
   void push(Message&& m) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        ++dropped_after_close_;
+        return;
+      }
       queue_.push_back(std::move(m));
     }
     cv_.notify_one();
@@ -28,6 +43,21 @@ class Mailbox {
     Message m = std::move(queue_.front());
     queue_.pop_front();
     return m;
+  }
+
+  // Bounded pop: like pop(), but gives up after `timeout` so the caller can
+  // interleave time-based work (channel retransmissions, ack flushes) with
+  // receiving.  Queued messages still drain after close (kMessage first,
+  // kClosed only once empty), matching pop()'s shutdown semantics.
+  PopStatus pop_for(Message& out, std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      return PopStatus::kMessage;
+    }
+    return closed_ ? PopStatus::kClosed : PopStatus::kTimeout;
   }
 
   std::optional<Message> try_pop() {
@@ -58,11 +88,17 @@ class Mailbox {
     return queue_.size();
   }
 
+  std::uint64_t dropped_after_close() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_after_close_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
+  std::uint64_t dropped_after_close_ = 0;
 };
 
 }  // namespace now::sim

@@ -15,6 +15,10 @@ struct Message {
   std::uint64_t seq = 0;    // RPC matching token (0 = not a reply)
   std::uint64_t send_ts_ns = 0;    // sender's virtual clock at send
   std::uint64_t arrive_ts_ns = 0;  // send_ts + modeled transit (set by Network)
+  // Reliability-channel header (set by the Channel when it is enabled; part
+  // of the modeled UDP header, so it adds no wire bytes of its own).
+  std::uint64_t ch_seq = 0;  // per-(src,dst) sequence, from 1 (0 = unsequenced)
+  std::uint64_t ch_ack = 0;  // cumulative ack of the reverse link (0 = none)
   std::vector<std::uint8_t> payload;
 };
 

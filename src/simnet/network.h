@@ -1,10 +1,16 @@
 // The simulated network of workstations: n nodes, each with a mailbox,
 // connected by a switched full-duplex link priced by a NetworkModel.
 //
-// Delivery is reliable and per-sender FIFO (queues), mirroring what the
-// TreadMarks UDP layer provides after its retransmission protocol and what
-// TCP provides for MPICH.  Virtual timestamps ride on every message so the
-// receiving protocol layer can advance its node clock to the arrival time.
+// By default delivery is reliable and per-sender FIFO (queues), mirroring
+// what the TreadMarks UDP layer provides after its retransmission protocol
+// and what TCP provides for MPICH.  With a ChannelConfig the wire stops
+// being assumed perfect: seeded per-link faults (drop/dup/reorder/jitter)
+// are injected on every transmission and the TreadMarks-style reliability
+// channel (simnet/channel.h) re-establishes exactly-once per-sender FIFO on
+// top — sequence numbers, receiver dedup + reorder holds, retransmission
+// with backoff, piggybacked acks.  Virtual timestamps ride on every message
+// so the receiving protocol layer can advance its node clock to the arrival
+// time.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "simnet/channel.h"
 #include "simnet/mailbox.h"
 #include "simnet/message.h"
 #include "simnet/model.h"
@@ -21,42 +28,62 @@ namespace now::sim {
 
 class Network {
  public:
-  Network(std::size_t num_nodes, NetworkModel model)
-      : model_(model), mailboxes_(num_nodes) {
+  Network(std::size_t num_nodes, NetworkModel model, ChannelConfig chan = {})
+      : model_(model), mailboxes_(num_nodes), chan_cfg_(chan) {
     for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
+    if (chan_cfg_.enabled())
+      chan_ = std::make_unique<Channel>(chan_cfg_, model_, &mailboxes_,
+                                        &traffic_);
   }
 
   std::size_t num_nodes() const { return mailboxes_.size(); }
   const NetworkModel& model() const { return model_; }
+  const ChannelConfig& channel_config() const { return chan_cfg_; }
 
   // Posts a message.  The caller must have set src, dst, type and send_ts_ns
   // (its virtual clock).  Self-sends are allowed (a node's own barrier
   // arrival at its manager): they are local calls in the real system, so
   // they cost a token local-delivery delay and never touch the wire
-  // counters.
+  // counters — or the reliability channel; only real wire transmissions can
+  // fault.
   void send(Message&& m) {
+    NOW_CHECK_LT(m.src, mailboxes_.size())
+        << "bad source for message type " << m.type << " to " << m.dst;
     NOW_CHECK_LT(m.dst, mailboxes_.size())
         << "bad destination for message type " << m.type << " from " << m.src;
+    if (chan_cfg_.num_msg_types != 0) {
+      NOW_CHECK_LT(m.type, chan_cfg_.num_msg_types)
+          << "unknown message type from " << m.src << " to " << m.dst;
+    }
     if (m.src == m.dst) {
       m.arrive_ts_ns = m.send_ts_ns + kLocalDeliveryNs;
-    } else {
-      m.arrive_ts_ns = m.send_ts_ns + model_.transit_ns(m.payload.size());
-      traffic_.record(m.type, m.payload.size(), model_.wire_bytes(m.payload.size()));
+      mailboxes_[m.dst]->push(std::move(m));
+      return;
     }
+    if (chan_) {
+      chan_->send(std::move(m));
+      return;
+    }
+    m.arrive_ts_ns = m.send_ts_ns + model_.transit_ns(m.payload.size());
+    traffic_.record(m.type, m.payload.size(), model_.wire_bytes(m.payload.size()));
     mailboxes_[m.dst]->push(std::move(m));
   }
 
   static constexpr std::uint64_t kLocalDeliveryNs = 1000;
 
   // Blocking receive; returns nullopt once the node's mailbox is closed and
-  // drained (shutdown path).
+  // drained (shutdown path).  With the channel enabled this is where
+  // exactly-once per-sender FIFO is restored: raw wire arrivals (possibly
+  // duplicated or out of order) are reassembled before anything surfaces.
   std::optional<Message> recv(NodeId node) {
     NOW_CHECK_LT(node, mailboxes_.size());
+    if (chan_) return chan_->recv(node);
     return mailboxes_[node]->pop();
   }
 
   std::optional<Message> try_recv(NodeId node) {
     NOW_CHECK_LT(node, mailboxes_.size());
+    if (chan_) return chan_->try_recv(node);
     return mailboxes_[node]->try_pop();
   }
 
@@ -64,13 +91,30 @@ class Network {
     for (auto& m : mailboxes_) m->close();
   }
 
-  TrafficSnapshot traffic() const { return traffic_.snapshot(); }
-  void reset_traffic() { traffic_.reset(); }
+  TrafficSnapshot traffic() const {
+    TrafficSnapshot s = traffic_.snapshot();
+    if (chan_) s.chan = chan_->snapshot();
+    for (const auto& m : mailboxes_)
+      s.chan.mailbox_dropped_after_close += m->dropped_after_close();
+    return s;
+  }
+  void reset_traffic() {
+    traffic_.reset();
+    if (chan_) chan_->reset_stats();
+  }
+
+  // Test hook: channel transmissions not yet cumulatively acked (0 when the
+  // channel is off).
+  std::size_t channel_unacked(NodeId node) const {
+    return chan_ ? chan_->unacked_total(node) : 0;
+  }
 
  private:
   NetworkModel model_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficCounter traffic_;
+  ChannelConfig chan_cfg_;
+  std::unique_ptr<Channel> chan_;
 };
 
 }  // namespace now::sim

@@ -14,11 +14,45 @@ namespace now::sim {
 
 inline constexpr std::size_t kMaxMessageTypes = 64;
 
+// Reliability-channel activity (sequencing, retransmission, fault injection).
+// All zero when the channel is disabled — the default wire is perfect, so
+// these counters are pure additions to the Table 2 measurement substrate.
+struct ChannelSnapshot {
+  // Faults the lossy wire injected (sender side, per transmission).
+  std::uint64_t drops_injected = 0;
+  std::uint64_t dups_injected = 0;
+  std::uint64_t reorders_injected = 0;
+  // The protocol's reactions.
+  std::uint64_t retransmits = 0;           // timed-out transmissions re-sent
+  std::uint64_t retransmit_wire_bytes = 0;
+  std::uint64_t dup_drops = 0;             // receiver-side dedup discards
+  std::uint64_t reorder_holds = 0;         // held for a missing predecessor
+  std::uint64_t acks_sent = 0;             // standalone acks (idle reverse path)
+  std::uint64_t ack_wire_bytes = 0;
+  // Mailbox shutdown accounting (counted with or without the channel).
+  std::uint64_t mailbox_dropped_after_close = 0;
+
+  ChannelSnapshot& operator+=(const ChannelSnapshot& o) {
+    drops_injected += o.drops_injected;
+    dups_injected += o.dups_injected;
+    reorders_injected += o.reorders_injected;
+    retransmits += o.retransmits;
+    retransmit_wire_bytes += o.retransmit_wire_bytes;
+    dup_drops += o.dup_drops;
+    reorder_holds += o.reorder_holds;
+    acks_sent += o.acks_sent;
+    ack_wire_bytes += o.ack_wire_bytes;
+    mailbox_dropped_after_close += o.mailbox_dropped_after_close;
+    return *this;
+  }
+};
+
 struct TrafficSnapshot {
   std::uint64_t messages = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t wire_bytes = 0;  // payload + per-message protocol headers
   std::array<std::uint64_t, kMaxMessageTypes> messages_by_type{};
+  ChannelSnapshot chan;  // reliability-layer activity behind those totals
 
   double wire_mbytes() const {
     return static_cast<double>(wire_bytes) / (1024.0 * 1024.0);
@@ -30,6 +64,7 @@ struct TrafficSnapshot {
     wire_bytes += o.wire_bytes;
     for (std::size_t i = 0; i < kMaxMessageTypes; ++i)
       messages_by_type[i] += o.messages_by_type[i];
+    chan += o.chan;
     return *this;
   }
 };

@@ -1,13 +1,14 @@
 // Configuration for the TreadMarks-like DSM runtime.
 #pragma once
 
-#include <cerrno>
 #include <cstddef>
 #include <cstdint>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/env.h"
+#include "simnet/channel.h"
 #include "simnet/model.h"
+#include "tmk/msgs.h"
 
 namespace now::tmk {
 
@@ -19,25 +20,10 @@ namespace detail {
 // Environment override for a config default (CI runs the whole test suite
 // under alternate protocol configurations, e.g. TMK_PREFETCH_PAGES=16).
 // Only the *default* is overridden: a test that assigns the field explicitly
-// keeps its value.  An empty variable counts as unset.  Malformed values
-// fail loudly: a CI matrix leg whose knob silently parsed as 0 (or as a
-// digit prefix of a typo) would green-light a configuration that never ran.
-inline std::size_t env_size(const char* name, std::size_t def) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return def;
-  for (const char* p = v; *p != '\0'; ++p)
-    NOW_CHECK(*p >= '0' && *p <= '9')
-        << "malformed " << name << "='" << v
-        << "': expected a non-negative decimal integer";
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(v, nullptr, 10);
-  NOW_CHECK(errno != ERANGE) << name << "='" << v << "' overflows";
-  return static_cast<std::size_t>(parsed);
-}
-// Boolean env-default override: 0 = off, any other integer = on.
-inline bool env_flag(const char* name, bool def) {
-  return env_size(name, def ? 1 : 0) != 0;
-}
+// keeps its value.  The parsers moved to common/env.h so simnet's
+// FaultConfig shares them; these aliases keep the historical call sites.
+using env::env_flag;
+using env::env_size;
 }  // namespace detail
 
 struct DsmConfig {
@@ -238,6 +224,25 @@ struct DsmConfig {
   // overridable via TMK_SHARD_MANAGERS.
   bool shard_managers = detail::env_flag("TMK_SHARD_MANAGERS", false);
 
+  // Lossy-wire chaos injection: seeded per-link drop / duplicate / reorder
+  // / delay-jitter probabilities for every non-local transmission, all
+  // default off (the wire stays perfect and the channel layer is bypassed
+  // entirely — zero cost).  Any nonzero fault forces the reliability
+  // channel on: sequence numbers on every message, receiver-side dedup and
+  // reorder holds restoring exactly-once per-sender FIFO before any
+  // handler runs, sender-side retransmission with backoff, acks
+  // piggybacked on reverse traffic (standalone kAck only on an idle
+  // reverse link).  Deterministic: faults are drawn from a counter-indexed
+  // hash of the seed per link, so a failing schedule replays exactly.
+  // Defaults overridable via TMK_NET_DROP_PPM / TMK_NET_DUP_PPM /
+  // TMK_NET_REORDER_PPM / TMK_NET_JITTER_NS / TMK_NET_FAULT_SEED.
+  sim::FaultConfig net_fault = sim::FaultConfig::from_env();
+
+  // Run the reliability channel even on a clean wire (sequencing, acks,
+  // retransmit bookkeeping, no faults) — measures the protocol's zero-loss
+  // overhead.  Default overridable via TMK_NET_RELIABLE.
+  bool net_reliable = detail::env_flag("TMK_NET_RELIABLE", false);
+
   // When true, each service-thread request handled also injects a random
   // short host-level delay, shaking out message-ordering assumptions in
   // stress tests.  Never enabled in benchmarks.
@@ -269,6 +274,22 @@ struct DsmConfig {
 
   // Whether the threshold-triggered on-demand GC exchange is in effect.
   bool on_demand_gc_enabled() const { return meta_ceiling_bytes > 0; }
+
+  // Whether any wire fault is being injected (the reliability channel may
+  // additionally be on without faults via net_reliable).
+  bool chaos_enabled() const { return net_fault.any(); }
+
+  // The simnet channel configuration this DSM config implies: faults force
+  // the reliability protocol on, acks travel as kAck, and Network::send
+  // validates types against the tmk registry.
+  sim::ChannelConfig channel() const {
+    sim::ChannelConfig c;
+    c.reliable = net_reliable || net_fault.any();
+    c.fault = net_fault;
+    c.ack_type = static_cast<std::uint16_t>(kAck);
+    c.num_msg_types = static_cast<std::uint16_t>(kNumMsgTypes);
+    return c;
+  }
 
   // Whether any reclamation point can ever establish a GC floor — gates the
   // merge-time seeding of the validation-scan index (a floor that never

@@ -35,6 +35,8 @@ const char* msg_type_name(std::uint16_t t) {
     case kGcRequest: return "gc_request";
     case kGcArrive: return "gc_arrive";
     case kGcDepart: return "gc_depart";
+    case kAck: return "ack";
+    case kCondWaitAck: return "cond_wait_ack";
     default: return "unknown";
   }
 }

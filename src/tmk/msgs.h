@@ -100,6 +100,25 @@ enum MsgType : std::uint16_t {
   kGcArrive = 30,   // node -> parent: vt + validated floor (folded min)
   kGcDepart = 31,   // parent -> children: fresh floor + reclaim-ack floor
 
+  // Reliability channel (TMK_NET_RELIABLE / any TMK_NET_*_PPM fault knob).
+  // Standalone cumulative ack, sent by the channel layer only when the
+  // reverse link has been idle past the flush timeout (acks otherwise
+  // piggyback on reverse traffic for free).  Consumed inside the channel —
+  // a node's handler switch never sees one — but registered here so traffic
+  // breakdowns attribute the ack messages and bytes.
+  kAck = 32,  // receiver -> sender: cumulative per-link ack, empty payload
+
+  // Sent only when the reliability channel is armed: on a perfect wire a
+  // cond_wait registration lands in the manager's mailbox synchronously,
+  // strictly before the waiter releases the lock — so no signal the next
+  // holder issues can beat it.  A lossy wire breaks that (a dropped
+  // registration is retransmitted milliseconds later, after the grant and
+  // the next holder's signal raced ahead on other links), turning
+  // signal-with-no-waiter noops into lost wakeups.  The ack restores the
+  // causal order TreadMarks' request-response UDP protocol had natively:
+  // the waiter holds the lock until its registration is confirmed.
+  kCondWaitAck = 33,  // manager -> waiter: cond registration confirmed
+
   kNumMsgTypes
 };
 

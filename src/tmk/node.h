@@ -417,6 +417,16 @@ class Node {
   std::uint64_t own_lamport_ = 0;  // lamport of last closed interval
   std::vector<VectorTime> sent_node_vt_;  // per peer: what their node log has
   std::vector<VectorTime> sent_mgr_vt_;   // per peer: what their mgr log has
+  // Cut-to-enqueue ordering for node-log deltas.  take_delta_for advances
+  // the sent-cache at *cut* time, but the message reaches the network only
+  // after serialization — and the compute thread (lock_release's pending
+  // grant, flush, fork, join) and the service thread (on_lock_forward's
+  // grant-from-cache) can both cut a delta for the same peer.  If the
+  // later cut's message is enqueued first, per-link FIFO faithfully
+  // delivers a gap and the receiver's dense-merge check fires.  Held from
+  // before the cut until the send returns, per destination; mgr-log deltas
+  // need no such lock (every mgr-log cut runs on the compute thread).
+  std::unique_ptr<std::mutex[]> delta_send_mu_;
   VectorTime gc_floor_applied_;           // last barrier-GC floor applied
   // Highest floor this node has fully *validated* pages against (every
   // notice at or below it pinned or applied).  Raised by the compute thread

@@ -18,6 +18,7 @@ Node::Node(DsmRuntime& rt, std::uint32_t id)
       log_(num_nodes_),
       sent_node_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
       sent_mgr_vt_(num_nodes_, VectorTime(num_nodes_, 0)),
+      delta_send_mu_(new std::mutex[num_nodes_]),
       gc_floor_applied_(num_nodes_, 0),
       gc_floor_validated_(num_nodes_, 0),
       mgr_(num_nodes_),

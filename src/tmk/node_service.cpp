@@ -28,6 +28,7 @@ void Node::handle_message(sim::Message&& m) {
     case kFlushAck:
     case kAllocReply:
     case kFreeAck:
+    case kCondWaitAck:
       rpc_.fulfill(m.seq, std::move(m));
       return;
 

@@ -866,8 +866,22 @@ void Node::update_validate_pushed(std::uint64_t barrier_index) {
     for (std::size_t i = 0; i < pending_pushes_.size(); ++i) {
       PendingPush& pp = pending_pushes_[i];
       if (pp.barrier_index != barrier_index) {
-        NOW_CHECK_GT(pp.barrier_index, barrier_index)
-            << "update push missed its barrier";
+        if (pp.barrier_index < barrier_index) {
+          // On the perfect wire this is impossible: the writer pushed
+          // before arriving at barrier k, so mailbox FIFO parks the push
+          // before the departure that triggers this pass.  Under injected
+          // faults the cross-link transitivity breaks — the push can be
+          // dropped and its retransmission land after the validate pass —
+          // and the stale push must be discarded: the push is an
+          // optimization only (the pull path re-fetches anything it
+          // carried), while applying a stale epoch's diffs late could
+          // resurrect overwritten words.
+          NOW_CHECK(rt_.config().chaos_enabled())
+              << "update push missed its barrier";
+          stats_.update_pushes_stale.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // A faster writer already a barrier ahead: keep until its barrier.
         // Compact in place, guarding the self-move (v[i] = move(v[i])
         // empties the chunk vectors).
         if (keep != i) pending_pushes_[keep] = std::move(pp);
@@ -1142,6 +1156,12 @@ void Node::lock_release(std::uint32_t lock_id) {
 void Node::grant_lock(std::uint32_t lock_id, std::uint32_t requester,
                       const VectorTime& vt, std::uint64_t base_ts,
                       bool from_service) {
+  // Both threads can grant to the same requester at once (compute: a
+  // pending grant at release; service: a forward hitting the ownership
+  // cache — two disjoint locks migrating along the same edge).  The cut
+  // and the enqueue must not interleave, or the later cut's grant lands
+  // on the wire first and the requester's dense merge sees a gap.
+  std::lock_guard<std::mutex> order(delta_send_mu_[requester]);
   auto delta = take_delta_for(requester, Cache::kNodeLog, &vt);
   if (log_enabled(LogLevel::kDebug)) {
     std::string recs;
@@ -1815,11 +1835,29 @@ void Node::cond_wait(std::uint32_t lock_id, std::uint32_t cond_id) {
     KnowledgeLog::serialize_vt(w, gc_floor_applied_);  // see sema_signal
   }
   KnowledgeLog::serialize_records(w, delta);
+  // On a perfect wire "reaches the mailbox first" holds by construction:
+  // send_compute delivers synchronously, so the registration is queued
+  // before we release the lock below.  On a lossy wire it does not — the
+  // registration can be dropped and retransmitted milliseconds later, after
+  // the released lock was granted onward and the next holder's signal
+  // already hit the manager (a signal with no waiter is a legal noop, so
+  // the wakeup is simply lost and we block forever).  When the reliability
+  // channel is armed, turn the registration into an rpc: hold the lock
+  // until the manager confirms we are on the queue (kCondWaitAck), exactly
+  // the request-response shape TreadMarks' UDP protocol gave every message.
+  const bool ack_registration =
+      rt_.config().chaos_enabled() || rt_.config().net_reliable;
+  const std::uint64_t tok = ack_registration ? rpc_.begin() : 0;
   sim::Message m;
   m.type = kCondWait;
   m.dst = mgr;
+  m.seq = tok;
   m.payload = w.take();
   send_compute(std::move(m));
+  if (ack_registration) {
+    sim::Message ack = rpc_.wait(tok);
+    arrive(ack);
+  }
 
   // Now release the lock locally so other threads can enter the critical
   // section and change the condition.
@@ -1895,6 +1933,18 @@ void Node::on_cond_wait(sim::Message&& m) {
   mgr_gc_to(KnowledgeLog::deserialize_vt(r));
   mgr_.log.merge(KnowledgeLog::deserialize_records(r));
   mgr_.conds[cond_key(lock_id, cond_id)].push_back({m.src, std::move(vt)});
+  // Confirm the registration when the reliability channel is armed (see
+  // cond_wait): the waiter holds the lock until this lands, so no signal
+  // can precede its queue entry.  Off the chaos/reliable path the wire is
+  // synchronous and the ack would be pure overhead — the knobs-off message
+  // flow stays byte-identical.
+  if (rt_.config().chaos_enabled() || rt_.config().net_reliable) {
+    sim::Message ack;
+    ack.type = kCondWaitAck;
+    ack.dst = m.src;
+    ack.seq = m.seq;
+    send_service(std::move(ack), m.arrive_ts_ns);
+  }
 }
 
 void Node::on_cond_signal(sim::Message&& m, bool broadcast) {
@@ -1934,6 +1984,9 @@ void Node::flush() {
   std::vector<Call> calls;
   for (std::uint32_t peer = 0; peer < num_nodes_; ++peer) {
     if (peer == id_) continue;
+    // Cut-to-enqueue ordering vs a concurrent service-thread grant to the
+    // same peer (see grant_lock).
+    std::lock_guard<std::mutex> order(delta_send_mu_[peer]);
     auto delta = take_delta_for(peer, Cache::kNodeLog, nullptr);
     ByteWriter w;
     KnowledgeLog::serialize_records(w, delta);
@@ -1975,6 +2028,9 @@ void Node::fork_slaves(ForkFn fn, const void* arg, std::size_t arg_size) {
   }
   for (std::uint32_t slave = 0; slave < num_nodes_; ++slave) {
     if (slave == id_) continue;
+    // Cut-to-enqueue ordering vs a concurrent service-thread grant to the
+    // same peer (see grant_lock).
+    std::lock_guard<std::mutex> order(delta_send_mu_[slave]);
     auto delta = take_delta_for(slave, Cache::kNodeLog, nullptr);
     ByteWriter w;
     w.u64(reinterpret_cast<std::uint64_t>(fn));
@@ -2033,14 +2089,20 @@ bool Node::slave_serve_one(Tmk& tmk) {
   sync_cpu();
   close_interval();
   epoch_dirty_.clear();  // join: barrier-free release point, see fork_slaves
-  auto delta = take_delta_for(rt_.topology().master_node(), Cache::kNodeLog, nullptr);
-  ByteWriter w;
-  KnowledgeLog::serialize_records(w, delta);
+  const std::uint32_t master = rt_.topology().master_node();
   sim::Message join;
-  join.type = kJoin;
-  join.dst = rt_.topology().master_node();
-  join.payload = w.take();
-  send_compute(std::move(join));
+  {
+    // Cut-to-enqueue ordering vs a concurrent service-thread grant to the
+    // same peer (see grant_lock).
+    std::lock_guard<std::mutex> order(delta_send_mu_[master]);
+    auto delta = take_delta_for(master, Cache::kNodeLog, nullptr);
+    ByteWriter w;
+    KnowledgeLog::serialize_records(w, delta);
+    join.type = kJoin;
+    join.dst = master;
+    join.payload = w.take();
+    send_compute(std::move(join));
+  }
   return true;
 }
 

@@ -12,7 +12,7 @@ DsmRuntime::DsmRuntime(DsmConfig cfg)
     : cfg_(cfg),
       topo_(cfg),
       arena_(cfg.num_nodes, cfg.heap_bytes),
-      net_(cfg.num_nodes, cfg.net) {
+      net_(cfg.num_nodes, cfg.net, cfg.channel()) {
   nodes_.reserve(cfg_.num_nodes);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i)
     nodes_.push_back(std::make_unique<Node>(*this, i));

@@ -32,6 +32,9 @@ struct DsmStatsSnapshot {
                                           // probe fault
   std::uint64_t update_demotions = 0;     // pages demoted to invalidate mode
                                           // by a reader's kUpdateDeny
+  std::uint64_t update_pushes_stale = 0;  // pushes discarded because their
+                                          // retransmission outlived the
+                                          // barrier (lossy wire only)
   std::uint64_t lock_pushes_sent = 0;     // kLockGrant messages that carried
                                           // >= 1 migratory-pushed page
   std::uint64_t lock_pages_pushed = 0;    // pages carried by those grants
@@ -87,6 +90,7 @@ struct DsmStatsSnapshot {
     update_pages_pushed += o.update_pages_pushed;
     update_push_hits += o.update_push_hits;
     update_demotions += o.update_demotions;
+    update_pushes_stale += o.update_pushes_stale;
     lock_pushes_sent += o.lock_pushes_sent;
     lock_pages_pushed += o.lock_pages_pushed;
     lock_push_hits += o.lock_push_hits;
@@ -128,6 +132,7 @@ struct DsmStats {
   std::atomic<std::uint64_t> update_pages_pushed{0};
   std::atomic<std::uint64_t> update_push_hits{0};
   std::atomic<std::uint64_t> update_demotions{0};
+  std::atomic<std::uint64_t> update_pushes_stale{0};
   std::atomic<std::uint64_t> lock_pushes_sent{0};
   std::atomic<std::uint64_t> lock_pages_pushed{0};
   std::atomic<std::uint64_t> lock_push_hits{0};
@@ -166,6 +171,7 @@ struct DsmStats {
     s.update_pages_pushed = update_pages_pushed.load(std::memory_order_relaxed);
     s.update_push_hits = update_push_hits.load(std::memory_order_relaxed);
     s.update_demotions = update_demotions.load(std::memory_order_relaxed);
+    s.update_pushes_stale = update_pushes_stale.load(std::memory_order_relaxed);
     s.lock_pushes_sent = lock_pushes_sent.load(std::memory_order_relaxed);
     s.lock_pages_pushed = lock_pages_pushed.load(std::memory_order_relaxed);
     s.lock_push_hits = lock_push_hits.load(std::memory_order_relaxed);

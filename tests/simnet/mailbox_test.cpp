@@ -66,5 +66,75 @@ TEST(Mailbox, SizeReflectsQueue) {
   EXPECT_EQ(box.size(), 2u);
 }
 
+TEST(Mailbox, PopForReturnsQueuedMessage) {
+  Mailbox box;
+  box.push(make(5));
+  Message out;
+  EXPECT_EQ(box.pop_for(out, std::chrono::microseconds(1)),
+            Mailbox::PopStatus::kMessage);
+  EXPECT_EQ(out.type, 5);
+}
+
+TEST(Mailbox, PopForTimesOutOnEmpty) {
+  Mailbox box;
+  Message out;
+  EXPECT_EQ(box.pop_for(out, std::chrono::microseconds(100)),
+            Mailbox::PopStatus::kTimeout);
+}
+
+TEST(Mailbox, PopForWakesOnPush) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    box.push(make(7));
+  });
+  Message out;
+  // Far longer than the producer's delay: a timeout here means the push
+  // failed to wake the waiter.
+  EXPECT_EQ(box.pop_for(out, std::chrono::seconds(10)),
+            Mailbox::PopStatus::kMessage);
+  EXPECT_EQ(out.type, 7);
+  producer.join();
+}
+
+TEST(Mailbox, PopForDrainsQueueBeforeReportingClosed) {
+  Mailbox box;
+  box.push(make(1));
+  box.close();
+  Message out;
+  EXPECT_EQ(box.pop_for(out, std::chrono::microseconds(1)),
+            Mailbox::PopStatus::kMessage);
+  EXPECT_EQ(out.type, 1);
+  EXPECT_EQ(box.pop_for(out, std::chrono::microseconds(1)),
+            Mailbox::PopStatus::kClosed);
+}
+
+TEST(Mailbox, CloseWakesBlockedPopFor) {
+  Mailbox box;
+  std::thread closer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    box.close();
+  });
+  Message out;
+  EXPECT_EQ(box.pop_for(out, std::chrono::seconds(10)),
+            Mailbox::PopStatus::kClosed);
+  closer.join();
+}
+
+// The shutdown race the channel's retransmission path exposes: a retransmit
+// or late ack can arrive after close_all().  The box must drop it (never
+// deliver after reporting closed) and count the drop.
+TEST(Mailbox, PushAfterCloseIsDroppedAndCounted) {
+  Mailbox box;
+  box.push(make(1));
+  box.close();
+  box.push(make(2));
+  box.push(make(3));
+  EXPECT_EQ(box.size(), 1u);  // only the pre-close message survives
+  EXPECT_EQ(box.pop()->type, 1);
+  EXPECT_FALSE(box.pop().has_value());
+  EXPECT_EQ(box.dropped_after_close(), 2u);
+}
+
 }  // namespace
 }  // namespace now::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 namespace now::sim {
@@ -100,6 +101,101 @@ TEST(Network, ConcurrentSendersAllDelivered) {
   for (auto& t : senders) t.join();
   for (int i = 0; i < 1000; ++i) ASSERT_TRUE(net.recv(4).has_value());
   EXPECT_FALSE(net.try_recv(4).has_value());
+}
+
+// Send-side validation: a malformed source or destination is a protocol bug
+// at the *sender*, caught loudly before the message touches any mailbox.
+TEST(NetworkDeath, RejectsOutOfRangeSource) {
+  Network net(2, NetworkModel{});
+  EXPECT_DEATH(net.send(make(7, 1, 1, 0)), "bad source");
+}
+
+TEST(NetworkDeath, RejectsOutOfRangeDestination) {
+  Network net(2, NetworkModel{});
+  EXPECT_DEATH(net.send(make(0, 7, 1, 0)), "bad destination");
+}
+
+TEST(NetworkDeath, RejectsUnknownMessageType) {
+  ChannelConfig chan;
+  chan.num_msg_types = 4;  // types 0..3 are the whole protocol
+  Network net(2, NetworkModel{}, chan);
+  net.send(make(0, 1, 3, 0));  // in range: fine
+  EXPECT_TRUE(net.recv(1).has_value());
+  EXPECT_DEATH(net.send(make(0, 1, 4, 0)), "unknown message type");
+}
+
+TEST(Network, NoTypeTableMeansNoTypeValidation) {
+  Network net(2, NetworkModel{});  // num_msg_types == 0: protocol-agnostic
+  net.send(make(0, 1, 999, 0));
+  EXPECT_EQ(net.recv(1)->type, 999);
+}
+
+// With the reliability channel on, the local fast path must stay local:
+// unsequenced, off the wire counters, and exempt from channel state.
+TEST(Network, SelfSendStaysOffWireWithChannelEnabled) {
+  ChannelConfig chan;
+  chan.reliable = true;
+  Network net(2, NetworkModel{}, chan);
+  net.send(make(1, 1, 9, 8, /*send_ts=*/100));
+  auto m = net.recv(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 1u);
+  EXPECT_EQ(m->arrive_ts_ns, 100u + Network::kLocalDeliveryNs);
+  EXPECT_EQ(m->ch_seq, 0u);  // never sequenced
+  EXPECT_EQ(net.traffic().messages, 0u);
+  EXPECT_EQ(net.channel_unacked(1), 0u);
+}
+
+// The full gauntlet: concurrent senders over a wire dropping, duplicating
+// and reordering packets, with the channel restoring exactly-once per-sender
+// FIFO.  Every sender's stream must surface complete, in order, no dups.
+TEST(Network, ConcurrentSendersExactlyOnceFifoUnderFaults) {
+  ChannelConfig chan;
+  chan.fault.drop_ppm = 20000;  // 2% — aggressive for a 1000-message run
+  chan.fault.dup_ppm = 10000;
+  chan.fault.reorder_ppm = 20000;
+  chan.fault.seed = 42;
+  Network net(5, NetworkModel{}, chan);
+  std::vector<std::thread> senders;
+  for (NodeId s = 0; s < 4; ++s)
+    senders.emplace_back([&net, s] {
+      for (int i = 0; i < 250; ++i) {
+        auto m = make(s, 4, 1, 4);
+        m.seq = static_cast<std::uint64_t>(i);
+        net.send(std::move(m));
+      }
+      // Drive this sender's maintenance (retransmits, ack consumption)
+      // until the receiver has acked everything — the role the service
+      // thread's recv loop plays in the real runtime.
+      while (net.channel_unacked(s) != 0) {
+        net.try_recv(s);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  // recv() blocks until each next in-order message is recovered.
+  std::vector<std::uint64_t> next(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    auto m = net.recv(4);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->seq, next[m->src]++) << "sender " << m->src;
+  }
+  // Keep flushing the receiver's standalone acks until every sender has
+  // drained its retransmit queue, or the last acks never go out.
+  while (std::any_of(senders.begin(), senders.end(),
+                     [](std::thread& t) { return t.joinable(); })) {
+    net.try_recv(4);
+    bool all_acked = true;
+    for (NodeId s = 0; s < 4; ++s) all_acked &= net.channel_unacked(s) == 0;
+    if (all_acked)
+      for (auto& t : senders) t.join();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_FALSE(net.try_recv(4).has_value());
+  const auto t = net.traffic();
+  EXPECT_GT(t.chan.drops_injected, 0u);
+  EXPECT_GT(t.chan.retransmits, 0u);
+  EXPECT_GT(t.chan.dup_drops, 0u);
 }
 
 }  // namespace

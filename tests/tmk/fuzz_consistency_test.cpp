@@ -110,6 +110,17 @@ struct FuzzConfig {
   std::uint32_t arity = 0;         // barrier_tree_arity; 0 = centralized
   bool shard = false;              // hash-sharded lock/sema managers
   std::size_t ceiling = 0;         // meta_ceiling_bytes; 0 = off
+  // Lossy-wire legs: per-link fault rates fed to the simnet injector, with
+  // the retransmission channel armed underneath.  The fault stream is
+  // seeded from the fuzz seed, so a failing leg replays exactly.
+  std::uint32_t drop_ppm = 0;
+  std::uint32_t dup_ppm = 0;
+  std::uint32_t reorder_ppm = 0;
+  std::uint64_t jitter_ns = 0;
+  bool pin_wire = false;  // force a perfect wire even under env chaos
+  bool chaos() const {
+    return drop_ppm != 0 || dup_ppm != 0 || reorder_ppm != 0 || jitter_ns != 0;
+  }
 };
 
 // One node's lock-guarded counter increment, optionally nested with a
@@ -136,7 +147,8 @@ void increment_counters(Tmk& tmk, gptr<std::uint64_t> counters,
 // Final contents of the whole shared region (data pages + counter page),
 // captured on node 0 after the last barrier.
 std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
-                                    std::size_t epochs) {
+                                    std::size_t epochs,
+                                    sim::TrafficSnapshot* traffic = nullptr) {
   DsmConfig c;
   c.num_nodes = kNodes;
   c.heap_bytes = 4 << 20;
@@ -149,6 +161,20 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
   c.shard_managers = fc.shard;
   c.meta_ceiling_bytes = fc.ceiling;
   c.time.cpu_scale = 0.0;
+  // Chaos legs override whatever the TMK_NET_* env defaults injected (the
+  // chaos CI leg faults every leg above via env; these legs pin their own
+  // rates so a failure replays identically anywhere).
+  if (fc.chaos()) {
+    c.net_fault = {};
+    c.net_fault.drop_ppm = fc.drop_ppm;
+    c.net_fault.dup_ppm = fc.dup_ppm;
+    c.net_fault.reorder_ppm = fc.reorder_ppm;
+    c.net_fault.jitter_ns = fc.jitter_ns;
+    c.net_fault.seed = seed;
+  } else if (fc.pin_wire) {
+    c.net_fault = {};
+    c.net_reliable = false;
+  }
 
   std::vector<std::uint64_t> final_words(kWords + kWordsPerPage, 0);
   DsmRuntime rt(c);
@@ -238,6 +264,7 @@ std::vector<std::uint64_t> run_fuzz(const FuzzConfig& fc, std::uint64_t seed,
       EXPECT_GT(rt.total_stats().gc_exchanges, 0u)
           << "seed=" << seed << " ceiling=" << fc.ceiling;
   }
+  if (traffic != nullptr) *traffic = rt.traffic();
   return final_words;
 }
 
@@ -288,6 +315,28 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
   matrix.push_back({0, false, 16 * 1024, false, 16 * 1024, 0, false, 4096});
   matrix.push_back({4, true, 16 * 1024, true, 0, 2, true, 4096});
   matrix.push_back({0, false, 0, false, 0, 0, false, 4096});
+  // Lossy-wire legs: each fault class alone at the issue's rates — drop 1%,
+  // dup 0.5%, reorder 1%, delay jitter — then all four at once riding the
+  // protocol combinations whose ordering assumptions a lossy wire attacks:
+  // the migratory lock push (grant chain is the only consistency carrier),
+  // update mode (pushes racing barriers across links), the combining tree
+  // with sharded managers, and the GC ceiling (exchange floors mid-loss).
+  matrix.push_back({4, true, 16 * 1024, false, 0, 0, false, 0,
+                    10000, 0, 0, 0});
+  matrix.push_back({4, true, 16 * 1024, false, 0, 0, false, 0,
+                    0, 5000, 0, 0});
+  matrix.push_back({4, true, 16 * 1024, false, 0, 0, false, 0,
+                    0, 0, 10000, 0});
+  matrix.push_back({4, true, 16 * 1024, false, 0, 0, false, 0,
+                    0, 0, 0, 200'000});
+  matrix.push_back({4, true, 16 * 1024, false, 16 * 1024, 0, false, 0,
+                    10000, 5000, 10000, 200'000});
+  matrix.push_back({4, true, 16 * 1024, true, 0, 0, false, 0,
+                    10000, 5000, 10000, 200'000});
+  matrix.push_back({4, true, 16 * 1024, false, 0, 2, true, 0,
+                    10000, 5000, 10000, 200'000});
+  matrix.push_back({0, false, 16 * 1024, false, 0, 0, false, 4096,
+                    10000, 5000, 10000, 200'000});
 
   for (std::size_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = seed_base + s;
@@ -319,13 +368,46 @@ TEST(FuzzConsistency, ByteIdenticalAcrossConfigMatrix) {
                    << " gc=" << fc.gc << " cache=" << fc.cache_bytes
                    << " update=" << fc.update << " lockpush=" << fc.lock_push
                    << " arity=" << fc.arity << " shard=" << fc.shard
-                   << " ceiling=" << fc.ceiling
+                   << " ceiling=" << fc.ceiling << " drop=" << fc.drop_ppm
+                   << " dup=" << fc.dup_ppm << " reorder=" << fc.reorder_ppm
+                   << " jitter=" << fc.jitter_ns
                    << " (replay: NOW_FUZZ_SEED_BASE=" << seed
                    << " NOW_FUZZ_SEEDS=1)");
       const auto got = run_fuzz(fc, seed, epochs);
       ASSERT_EQ(got, model);  // byte-for-byte: every word, every counter
     }
   }
+}
+
+// The retransmission protocol's price tag: at the issue's 1% drop rate the
+// wire carries retransmitted copies and standalone acks, but the overhead
+// must stay a bounded multiple of the perfect-wire traffic — losing 1% of
+// packets must not double the bytes — while the results stay byte-identical.
+TEST(FuzzConsistency, RetransmitOverheadBounded) {
+  const std::uint64_t seed = env_size("NOW_FUZZ_SEED_BASE", 20260730);
+  const std::size_t epochs = env_size("NOW_FUZZ_EPOCHS", 4);
+
+  FuzzConfig clean{4, true, 16 * 1024, false, 0};
+  clean.pin_wire = true;
+  FuzzConfig lossy = clean;
+  lossy.pin_wire = false;
+  lossy.drop_ppm = 10000;
+
+  sim::TrafficSnapshot clean_t, lossy_t;
+  const auto clean_words = run_fuzz(clean, seed, epochs, &clean_t);
+  const auto lossy_words = run_fuzz(lossy, seed, epochs, &lossy_t);
+
+  ASSERT_EQ(clean_words, lossy_words);  // exactly-once restored the bytes
+  EXPECT_EQ(clean_t.chan.retransmits, 0u);
+  EXPECT_GT(lossy_t.chan.drops_injected, 0u);
+  EXPECT_GT(lossy_t.chan.retransmits, 0u);
+
+  // Bounded recovery: 1% loss costs at most 50% extra wire bytes.  (The
+  // overhead is dominated by whole-message retransmit copies plus acks;
+  // measured well under 1.2x — 1.5x absorbs host-timing-dependent extra
+  // timeouts without letting regressions like per-loss storms through.)
+  EXPECT_LT(lossy_t.wire_bytes, clean_t.wire_bytes + clean_t.wire_bytes / 2)
+      << "clean=" << clean_t.wire_bytes << " lossy=" << lossy_t.wire_bytes;
 }
 
 }  // namespace

@@ -72,17 +72,26 @@ void bound_loop(Tmk& tmk, std::size_t iters, std::size_t dirty_words,
 // handoff, while the push path pays only the armed probes.
 TEST(LockPush, PromotionAfterStableHandoffs) {
   constexpr std::size_t kIters = 24;
+  // The per-handoff message-count ratios below are perfect-wire properties:
+  // under the chaos CI leg the two runs draw independent fault streams, and
+  // retransmits/dups inflate their counters by different amounts.
+  auto pinned = [](std::size_t lock_push_bytes) {
+    DsmConfig c = cfg(4, lock_push_bytes);
+    c.net_fault = {};
+    c.net_reliable = false;
+    return c;
+  };
   DsmStatsSnapshot pull, push;
   std::uint64_t pull_msgs = 0, push_msgs = 0, pull_grants = 0, push_grants = 0;
   {
-    DsmRuntime rt(cfg(4, 0));
+    DsmRuntime rt(pinned(0));
     rt.run_spmd([&](Tmk& tmk) { bound_loop(tmk, kIters, 4); });
     pull = rt.total_stats();
     pull_msgs = rt.traffic().messages;
     pull_grants = rt.traffic().messages_by_type[kLockGrant];
   }
   {
-    DsmRuntime rt(cfg(4, 16 * 1024));
+    DsmRuntime rt(pinned(16 * 1024));
     rt.run_spmd([&](Tmk& tmk) { bound_loop(tmk, kIters, 4); });
     push = rt.total_stats();
     push_msgs = rt.traffic().messages;
@@ -130,6 +139,13 @@ TEST(LockPush, DemotionWhenChainStopsTouchingAPage) {
   constexpr std::size_t kIters = 24, kSwitch = 8;
   auto c = cfg(3, 16 * 1024);
   c.lock_push_reprobe = 1;  // every push armed: every dead push is judged
+  // Demotion needs an armed push to sit untouched through a *whole* critical
+  // section, which needs the lock to actually migrate; under the chaos CI
+  // leg retransmit delays can collapse the chain into cached re-acquires
+  // for long stretches and the demotion window never opens.  The mechanism
+  // under test is wire-independent — pin the wire perfect.
+  c.net_fault = {};
+  c.net_reliable = false;
   DsmRuntime rt(c);
   rt.run_spmd([&](Tmk& tmk) {
     gptr<std::uint64_t> state(kPageSize);
@@ -330,6 +346,11 @@ TEST(LockPush, CeilingPrunesRelayChunksWithoutBreakingThePush) {
   {
     auto c = cfg(4, 16 * 1024);
     c.meta_ceiling_bytes = kCeiling;
+    // The 2x-ceiling relay plateau is a perfect-wire property: injected
+    // faults stretch the exchange by retransmit timeouts while the chain
+    // keeps relaying (the lossy-wire plateau lives in tmk_soak_test).
+    c.net_fault = {};
+    c.net_reliable = false;
     DsmRuntime rt(c);
     rt.run_spmd([&](Tmk& tmk) {
       probed_loop(tmk, &capped_peaks[tmk.id()], &push_capped);

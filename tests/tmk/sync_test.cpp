@@ -33,6 +33,41 @@ TEST(Locks, MutualExclusionCounter) {
   }
 }
 
+// Regression stress for the grant cut-to-enqueue ordering race: with
+// several disjoint locks churning on the same edges, one node's compute
+// thread (a pending grant at release) and service thread (a forward
+// hitting the ownership cache) can both assemble node-log deltas for the
+// same requester at once.  If the later-cut delta reaches the wire first,
+// the requester's dense interval merge aborts on a sequence gap — the
+// failure is a NOW_CHECK abort, so this passes by simply surviving.
+// Scheduling-dependent: many short critical sections maximize the window.
+TEST(Locks, DisjointLockChurnKeepsIntervalRecordsDense) {
+  constexpr std::uint32_t kNodes = 4;
+  constexpr std::uint32_t kLocks = 4;
+  constexpr int kIters = 60;
+  DsmRuntime rt(cfg(kNodes));
+  rt.run_spmd([](Tmk& tmk) {
+    gptr<std::uint64_t> slots(kPageSize);
+    const std::uint32_t id = tmk.id();
+    for (int i = 0; i < kIters; ++i) {
+      // Every node walks the locks in a different rotation so grants for
+      // distinct locks keep crossing on the same (granter, requester) edge.
+      const std::uint32_t l = (id + static_cast<std::uint32_t>(i)) % kLocks;
+      tmk.lock_acquire(l);
+      slots[l] = slots[l] + 1;
+      tmk.lock_release(l);
+    }
+    tmk.barrier();
+    for (std::uint32_t l = 0; l < kLocks; ++l) {
+      std::uint64_t expect = 0;
+      for (std::uint32_t n = 0; n < kNodes; ++n)
+        for (int i = 0; i < kIters; ++i)
+          if ((n + static_cast<std::uint32_t>(i)) % kLocks == l) ++expect;
+      EXPECT_EQ(slots[l], expect) << "lock " << l;
+    }
+  });
+}
+
 TEST(Locks, UncontendedReacquireIsCached) {
   DsmRuntime rt(cfg(2));
   rt.run_spmd([](Tmk& tmk) {
@@ -81,7 +116,13 @@ TEST(Locks, ManyLocksIndependent) {
 
 TEST(Semaphores, PipelineProducerConsumer) {
   // Paper Figure 3: flags become semaphores, no busy-waiting.
-  DsmRuntime rt(cfg(2));
+  // The exact two-messages-per-op count below is a perfect-wire property:
+  // under the chaos CI leg's injected faults, retransmissions and acks
+  // legitimately add messages, so this measurement pins the wire.
+  DsmConfig c = cfg(2);
+  c.net_fault = {};
+  c.net_reliable = false;
+  DsmRuntime rt(c);
   constexpr int kRounds = 20;
   rt.run_spmd([](Tmk& tmk) {
     gptr<std::uint64_t> data(kPageSize);
@@ -226,6 +267,53 @@ TEST(CondVars, SignalWakesExactlyOne) {
     tmk.barrier();
     EXPECT_EQ(state[2], 2u);
   });
+}
+
+// Regression for the lost-condvar-wakeup deadlock the chaos soak exposed:
+// cond_wait's registration at the manager used to be one-way, leaning on
+// synchronous delivery to beat any signal the lock's next holder could
+// issue.  Under a lossy wire a dropped registration retransmits only after
+// the released lock was granted onward and the signal already hit an empty
+// waiter queue — a legal noop, so the waiter blocked forever.  With the
+// channel armed the registration is an rpc (kCondWaitAck: the waiter holds
+// the lock until the manager confirms its queue entry).  The race needs
+// three *distinct* parties: with the manager on the waiter's own node the
+// registration is an unfaultable self-send, and with the manager on the
+// next holder's node the registration and the lock grant share one link,
+// whose restored FIFO already orders them.  So: nodes 0 and 1 ping-pong
+// strict turns through one condvar whose lock hashes to the bystanding
+// node 2 (unsharded managers: lock_id % num_nodes), over an aggressively
+// faulty pinned wire.  A single lost wakeup deadlocks the ping-pong
+// (caught by the ctest timeout); the turn counter pins that every wakeup
+// was the right one.
+TEST(CondVars, HandoffSurvivesLossyWire) {
+  constexpr std::uint32_t kLock = 2, kCond = 1;  // manager: 2 % 3 == node 2
+  constexpr std::uint64_t kRounds = 25;
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    DsmConfig c = cfg(3);
+    c.net_fault = {};  // independent of the chaos CI leg's env knobs
+    c.net_fault.drop_ppm = 50000;
+    c.net_fault.dup_ppm = 20000;
+    c.net_fault.reorder_ppm = 50000;
+    c.net_fault.seed = seed;
+    DsmRuntime rt(c);
+    rt.run_spmd([&](Tmk& tmk) {
+      gptr<std::uint64_t> state(kPageSize);  // [whose turn, counter]
+      const std::uint64_t me = tmk.id();
+      if (me < 2) {
+        tmk.lock_acquire(kLock);
+        for (std::uint64_t i = 0; i < kRounds; ++i) {
+          while (state[0] != me) tmk.cond_wait(kLock, kCond);
+          state[1] = state[1] + 1;
+          state[0] = 1 - me;
+          tmk.cond_signal(kLock, kCond);
+        }
+        tmk.lock_release(kLock);
+      }
+      tmk.barrier();
+      EXPECT_EQ(state[1], 2 * kRounds) << "seed=" << seed;
+    });
+  }
 }
 
 TEST(Flush, MakesWritesGloballyVisible) {
