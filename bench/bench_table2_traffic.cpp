@@ -76,6 +76,22 @@ int main(int argc, char** argv) {
     extra_head.push_back("ReoHold Tmk");
     extra_head.push_back("AckKB Tmk");
   }
+  // Checkpoint/recovery columns, only when the knobs are armed (TMK_CKPT_EVERY
+  // / TMK_NET_CRASH_NODE): durable epochs, staged vs incrementally-skipped
+  // checkpoint traffic, and the rollback bill of any injected crash.  With
+  // the knobs at rest the pass never runs and the default table stays
+  // byte-identical to a pre-recovery build's.
+  const bool ckpt_on = dsm.ckpt_enabled();
+  const bool crash_on = dsm.crash_enabled();
+  if (ckpt_on) {
+    extra_head.push_back("CkptEp Tmk");
+    extra_head.push_back("CkptKB Tmk");
+    extra_head.push_back("CkptInc Tmk");
+  }
+  if (crash_on) {
+    extra_head.push_back("Recov Tmk");
+    extra_head.push_back("EpLost Tmk");
+  }
   Table c(extra_head);
   auto add = [&](const char* name, const VersionedResults& r) {
     t.add_row({name, Table::fmt(r.omp.traffic.wire_mbytes()),
@@ -121,6 +137,16 @@ int main(int argc, char** argv) {
       row.push_back(Table::fmt(r.tmk.traffic.chan.reorder_holds));
       row.push_back(Table::fmt(
           static_cast<double>(r.tmk.traffic.chan.ack_wire_bytes) / 1024.0, 1));
+    }
+    if (ckpt_on) {
+      row.push_back(Table::fmt(r.tmk.dsm.ckpt_epochs));
+      row.push_back(Table::fmt(
+          static_cast<double>(r.tmk.dsm.ckpt_bytes_written) / 1024.0, 1));
+      row.push_back(Table::fmt(r.tmk.dsm.ckpt_pages_incremental));
+    }
+    if (crash_on) {
+      row.push_back(Table::fmt(r.tmk.dsm.recoveries));
+      row.push_back(Table::fmt(r.tmk.dsm.rollback_epochs_lost));
     }
     c.add_row(std::move(row));
   };

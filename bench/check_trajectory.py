@@ -276,7 +276,77 @@ def main():
                 failures.append("chaos drop1 leg recovered nothing — the fault "
                                 "injector is inert and the overhead gate vacuous")
 
+    # Checkpoint/rollback overhead: `bench_crash_recovery --json` against
+    # baselines/crash_recovery.json.  Three gates:
+    #  - identity: the off leg (ckpt + crash knobs at rest) must match the
+    #    baseline exactly — the recovery machinery must cost zero bytes when
+    #    disarmed;
+    #  - checkpoint overhead: the ckpt leg must reproduce the off leg's
+    #    checksum, bank durable epochs, and keep its wire bytes under the
+    #    configured multiple of the off leg's (the staging/commit rounds are
+    #    the only addition, and they are cheap);
+    #  - recovery: the crash leg must report completed with >= 1 rollback and
+    #    the same checksum — a crash mid-run costs epochs, never bytes.
+    crash_base = baseline.get("crash_recovery") or {}
+    crash_meas = (measured.get("crash_recovery") or {}).get("legs", {})
+    if crash_base:
+        if not crash_meas:
+            failures.append("crash_recovery section missing from "
+                            "bench_crash_recovery output")
+        else:
+            off_base = crash_base.get("off", {})
+            off_meas = crash_meas.get("off", {})
+            for field in ("messages", "payload_bytes", "wire_bytes", "checksum"):
+                got, want = off_meas.get(field), off_base.get(field)
+                line = "ckpt off %-13s %20s  (baseline %s, exact)" % (
+                    field, got, want)
+                if got != want:
+                    failures.append("KNOBS-OFF WIRE DRIFT: " + line)
+                else:
+                    print("  ok   " + line)
+            for field in ("ckpt_epochs", "recoveries"):
+                if int(off_meas.get(field, 0)) != 0:
+                    failures.append("ckpt off leg has nonzero %s — the recovery "
+                                    "machinery ran with every knob off" % field)
+            off_sum = off_meas.get("checksum")
+            off_wire = float(off_meas.get("wire_bytes", 0) or 1)
+            for leg in ("ckpt", "crash"):
+                r = crash_meas.get(leg)
+                if r is None:
+                    failures.append("crash_recovery leg %r missing from "
+                                    "bench_crash_recovery output" % leg)
+                    continue
+                if not int(r.get("completed", 0)):
+                    failures.append("crash_recovery leg %r did not complete" % leg)
+                if r.get("checksum") != off_sum:
+                    failures.append("BYTE DIVERGENCE: crash_recovery leg %r "
+                                    "checksum %s != off leg %s"
+                                    % (leg, r.get("checksum"), off_sum))
+                else:
+                    print("  ok   ckpt %-6s checksum matches the knobs-off run"
+                          % leg)
+            if "ckpt" in crash_meas:
+                if int(crash_meas["ckpt"].get("ckpt_epochs", 0)) == 0:
+                    failures.append("ckpt leg banked no durable epochs — the "
+                                    "checkpoint pass is inert and the overhead "
+                                    "gate vacuous")
+                cap = float(crash_base.get("max_ckpt_wire_ratio", 1.25))
+                ratio = float(crash_meas["ckpt"]["wire_bytes"]) / off_wire
+                line = "ckpt overhead %5.3fx wire  (cap %.2fx)" % (ratio, cap)
+                if ratio > cap:
+                    failures.append("CHECKPOINT OVERHEAD REGRESSION: " + line)
+                else:
+                    print("  ok   " + line)
+            if "crash" in crash_meas and \
+                    int(crash_meas["crash"].get("recoveries", 0)) == 0:
+                failures.append("crash leg performed no recovery — the scripted "
+                                "crash is inert and the rollback gate vacuous")
+
     if args.update:
+        if crash_base and crash_meas and "off" in crash_meas:
+            for field in ("messages", "payload_bytes", "wire_bytes", "checksum"):
+                crash_base.setdefault("off", {})[field] = \
+                    crash_meas["off"].get(field)
         if chaos_base and chaos_meas and "off" in chaos_meas:
             for field in ("messages", "payload_bytes", "wire_bytes", "checksum"):
                 chaos_base.setdefault("off", {})[field] = \

@@ -34,6 +34,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -117,6 +118,17 @@ struct ChannelConfig {
   std::uint32_t ack_flush_host_us = 500;  // reverse-link idle before a bare ack
   std::uint32_t max_retries = 24;
 
+  // Keepalive probes for node-crash detection (0 = off).  A link with prior
+  // traffic in either direction that stays idle this long gets a sequenced
+  // empty probe of type `probe_type`: it demands a cumulative ack like any
+  // transmission, so a dead peer drives the probe's retransmit counter to
+  // exhaustion even when no survivor happens to owe it real traffic (the
+  // silent-crash-at-barrier-arrival hole — everyone already acked everything
+  // the victim ever sent).  Probes advance the link sequence but are
+  // filtered at in-order release: no handler ever sees one.
+  std::uint32_t probe_idle_host_us = 0;
+  std::uint16_t probe_type = 0;
+
   // Modeled (virtual-clock) cost of a loss: each retransmission is
   // re-stamped this much later than the previous attempt, so a dropped
   // packet charges its round-trip-scale recovery latency to the virtual
@@ -143,6 +155,17 @@ class Channel {
 
   bool enabled() const { return cfg_.enabled(); }
 
+  // Installs the node-down verdict sink.  With a handler installed,
+  // retransmit exhaustion toward a peer marks that link dead and reports the
+  // peer instead of aborting the process (the pre-crash-injection fail-fast
+  // behavior, which remains the default).  Install before any traffic flows;
+  // the handler is invoked with no channel lock held and must be idempotent
+  // (every surviving endpoint with traffic toward the victim detects
+  // independently).
+  void set_node_down(std::function<void(NodeId)> handler) {
+    node_down_ = std::move(handler);
+  }
+
   // Non-local send: stamp the link sequence number, piggyback the reverse
   // link's cumulative ack, queue a retransmit copy, transmit through the
   // fault injector.
@@ -151,6 +174,16 @@ class Channel {
     std::lock_guard<std::mutex> lock(ep.mu);
     TxLink& tx = ep.tx[m.dst];
     RxLink& rx = ep.rx[m.dst];
+    if (tx.peer_dead) {
+      // The peer was declared down: its mailbox is gone and every
+      // retransmission would just re-exhaust.  Model the NIC dropping the
+      // frame at a dead port, observably.
+      stats_.down_link_drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (cfg_.probe_idle_host_us != 0)
+      tx.probe_due =
+          Clock::now() + std::chrono::microseconds(cfg_.probe_idle_host_us);
     m.ch_seq = ++tx.next_seq;
     m.ch_ack = rx.delivered;
     rx.ack_owed = false;  // this message carries the ack
@@ -211,6 +244,9 @@ class Channel {
     s.reorder_holds = stats_.reorder_holds.load(std::memory_order_relaxed);
     s.acks_sent = stats_.acks_sent.load(std::memory_order_relaxed);
     s.ack_wire_bytes = stats_.ack_wire_bytes.load(std::memory_order_relaxed);
+    s.probes_sent = stats_.probes_sent.load(std::memory_order_relaxed);
+    s.down_links = stats_.down_links.load(std::memory_order_relaxed);
+    s.down_link_drops = stats_.down_link_drops.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -224,6 +260,9 @@ class Channel {
     stats_.reorder_holds.store(0, std::memory_order_relaxed);
     stats_.acks_sent.store(0, std::memory_order_relaxed);
     stats_.ack_wire_bytes.store(0, std::memory_order_relaxed);
+    stats_.probes_sent.store(0, std::memory_order_relaxed);
+    stats_.down_links.store(0, std::memory_order_relaxed);
+    stats_.down_link_drops.store(0, std::memory_order_relaxed);
   }
 
   // Test hook: transmissions of `node` not yet cumulatively acked.
@@ -249,6 +288,8 @@ class Channel {
     std::uint64_t fault_draws = 0;  // transmissions attempted (fault stream pos)
     std::deque<TxEntry> unacked;
     std::optional<Message> limbo;  // reorder: held until the next transmission
+    bool peer_dead = false;        // retransmit exhaustion verdict delivered
+    Clock::time_point probe_due{};  // next keepalive, lazily armed
   };
   struct RxLink {  // src -> this node
     std::uint64_t delivered = 0;  // highest in-order ch_seq surfaced
@@ -274,6 +315,9 @@ class Channel {
     std::atomic<std::uint64_t> reorder_holds{0};
     std::atomic<std::uint64_t> acks_sent{0};
     std::atomic<std::uint64_t> ack_wire_bytes{0};
+    std::atomic<std::uint64_t> probes_sent{0};
+    std::atomic<std::uint64_t> down_links{0};
+    std::atomic<std::uint64_t> down_link_drops{0};
   };
 
   Message pop_ready(Endpoint& ep) {  // ep.mu held
@@ -373,11 +417,11 @@ class Channel {
     }
     if (m.ch_seq == rx.delivered + 1) {
       rx.delivered = m.ch_seq;
-      ep.ready.push_back(std::move(m));
+      release(ep, std::move(m));
       auto it = rx.held.begin();
       while (it != rx.held.end() && it->first == rx.delivered + 1) {
         rx.delivered = it->first;
-        ep.ready.push_back(std::move(it->second));
+        release(ep, std::move(it->second));
         it = rx.held.erase(it);
       }
       owe_ack(rx);
@@ -392,6 +436,14 @@ class Channel {
     owe_ack(rx);
   }
 
+  // In-order release into the handler-visible queue.  Keepalive probes took
+  // part in the sequencing (they demand acks — that is their whole job) but
+  // carry nothing for a handler.
+  void release(Endpoint& ep, Message&& m) {  // ep.mu held
+    if (cfg_.probe_type != 0 && m.type == cfg_.probe_type) return;
+    ep.ready.push_back(std::move(m));
+  }
+
   void owe_ack(RxLink& rx) {
     if (rx.ack_owed) return;
     rx.ack_owed = true;
@@ -399,8 +451,17 @@ class Channel {
   }
 
   // Host-paced sender maintenance: retransmit overdue unacked transmissions
-  // (exponential backoff) and flush acks whose reverse link stayed idle.
+  // (exponential backoff), emit keepalive probes on idle links, and flush
+  // acks whose reverse link stayed idle.  Node-down verdicts are collected
+  // under the lock and delivered after it drops: the handler pushes into
+  // other nodes' mailboxes, and no lock may be held across that.
   void maintain(NodeId node) {
+    std::vector<NodeId> dead;
+    maintain_locked(node, dead);
+    for (NodeId d : dead) node_down_(d);
+  }
+
+  void maintain_locked(NodeId node, std::vector<NodeId>& dead) {
     Endpoint& ep = *eps_[node];
     std::lock_guard<std::mutex> lock(ep.mu);
     const auto now = Clock::now();
@@ -408,8 +469,19 @@ class Channel {
     ep.next_maintain = now + std::chrono::microseconds(cfg_.quantum_host_us);
     for (NodeId dst = 0; dst < ep.tx.size(); ++dst) {
       TxLink& tx = ep.tx[dst];
+      if (tx.peer_dead) continue;
       for (TxEntry& e : tx.unacked) {
         if (now < e.next_due) continue;
+        if (e.retries >= cfg_.max_retries && node_down_) {
+          // Verdict, not abort: with a crash handler installed, exhaustion
+          // means the peer is gone.  Drop the link's backlog (nothing will
+          // ever ack it) and report once the lock is released.
+          tx.peer_dead = true;
+          tx.unacked.clear();
+          stats_.down_links.fetch_add(1, std::memory_order_relaxed);
+          dead.push_back(dst);
+          break;  // the clear invalidated the iterator
+        }
         NOW_CHECK_LT(e.retries, cfg_.max_retries)
             << "channel " << node << "->" << dst << " seq " << e.msg.ch_seq
             << " (type " << e.msg.type << ") still unacked after "
@@ -427,6 +499,37 @@ class Channel {
         stats_.retransmit_wire_bytes.fetch_add(
             model_.wire_bytes(copy.payload.size()), std::memory_order_relaxed);
         wire_send(tx, std::move(copy));
+      }
+      // Keepalive probe on an idle active link (crash detection armed).
+      // Built inline — send() takes ep.mu, which is already held — and only
+      // while nothing is in flight: an unacked transmission already demands
+      // an ack, so a probe would add nothing but wire noise.
+      if (cfg_.probe_idle_host_us != 0 && dst != node && !tx.peer_dead &&
+          tx.unacked.empty() &&
+          (tx.next_seq != 0 || ep.rx[dst].delivered != 0)) {
+        if (tx.probe_due == Clock::time_point{}) {
+          tx.probe_due =
+              now + std::chrono::microseconds(cfg_.probe_idle_host_us);
+        } else if (now >= tx.probe_due) {
+          tx.probe_due =
+              now + std::chrono::microseconds(cfg_.probe_idle_host_us);
+          Message p;
+          p.type = cfg_.probe_type;
+          p.src = node;
+          p.dst = dst;
+          // Probes never surface to a handler, so like pure acks they carry
+          // no plausible virtual time.
+          p.ch_seq = ++tx.next_seq;
+          p.ch_ack = ep.rx[dst].delivered;
+          ep.rx[dst].ack_owed = false;  // the probe carries the ack
+          TxEntry e;
+          e.msg = p;
+          e.virtual_ts = 0;
+          e.next_due = now + std::chrono::microseconds(cfg_.rto_host_us);
+          tx.unacked.push_back(std::move(e));
+          stats_.probes_sent.fetch_add(1, std::memory_order_relaxed);
+          wire_send(tx, std::move(p));
+        }
       }
     }
     for (NodeId src = 0; src < ep.rx.size(); ++src) {
@@ -453,6 +556,7 @@ class Channel {
   TrafficCounter* traffic_;
   std::vector<std::unique_ptr<Endpoint>> eps_;
   Stats stats_;
+  std::function<void(NodeId)> node_down_;  // verdict sink; empty = fail fast
 };
 
 }  // namespace now::sim

@@ -91,11 +91,59 @@ class Network {
     for (auto& m : mailboxes_) m->close();
   }
 
+  // Crash injection: the victim's mailbox closes, so its service thread
+  // drains and exits while every frame later sent toward it is dropped on
+  // the floor (counted as dropped-after-close).  Survivors' retransmissions
+  // toward the victim then exhaust and produce the node-down verdict.
+  void fail_node(NodeId node) {
+    NOW_CHECK_LT(node, mailboxes_.size());
+    mailboxes_[node]->close();
+  }
+
+  // Installs the channel's retransmit-exhaustion verdict sink (no-op when
+  // the channel is off — a perfect wire cannot detect a crash).  Survives
+  // reset(): the handler is re-installed on the fresh channel.
+  void set_node_down(std::function<void(NodeId)> handler) {
+    node_down_ = std::move(handler);
+    if (chan_) chan_->set_node_down(node_down_);
+  }
+
+  // Runtime-internal control delivery that bypasses the channel: pushes
+  // straight into the destination mailbox, unsequenced (ch_seq 0 surfaces
+  // as-is through channel reassembly).  Used for the node-down verdict,
+  // which must reach nodes whose links to the sender may themselves be in
+  // arbitrary retransmission states.
+  void post_control(Message&& m) {
+    NOW_CHECK_LT(m.dst, mailboxes_.size());
+    m.arrive_ts_ns = m.send_ts_ns;
+    mailboxes_[m.dst]->push(std::move(m));
+  }
+
+  // Recovery: tear down every mailbox and the channel and rebuild them
+  // fresh, as if the cluster rebooted.  Traffic counters are NOT reset —
+  // the wire bytes a crashed run spent are real and stay on the bill.
+  // Callers must have joined every thread touching the network first.
+  void reset() {
+    for (auto& m : mailboxes_) {
+      dropped_carried_ += m->dropped_after_close();
+      m = std::make_unique<Mailbox>();
+    }
+    if (chan_) chan_carried_ += chan_->snapshot();
+    chan_.reset();
+    if (chan_cfg_.enabled()) {
+      chan_ = std::make_unique<Channel>(chan_cfg_, model_, &mailboxes_,
+                                        &traffic_);
+      if (node_down_) chan_->set_node_down(node_down_);
+    }
+  }
+
   TrafficSnapshot traffic() const {
     TrafficSnapshot s = traffic_.snapshot();
     if (chan_) s.chan = chan_->snapshot();
+    s.chan += chan_carried_;
     for (const auto& m : mailboxes_)
       s.chan.mailbox_dropped_after_close += m->dropped_after_close();
+    s.chan.mailbox_dropped_after_close += dropped_carried_;
     return s;
   }
   void reset_traffic() {
@@ -115,6 +163,9 @@ class Network {
   TrafficCounter traffic_;
   ChannelConfig chan_cfg_;
   std::unique_ptr<Channel> chan_;
+  std::function<void(NodeId)> node_down_;
+  std::uint64_t dropped_carried_ = 0;  // from mailboxes destroyed by reset()
+  ChannelSnapshot chan_carried_;       // from channels destroyed by reset()
 };
 
 }  // namespace now::sim

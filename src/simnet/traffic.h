@@ -29,6 +29,13 @@ struct ChannelSnapshot {
   std::uint64_t reorder_holds = 0;         // held for a missing predecessor
   std::uint64_t acks_sent = 0;             // standalone acks (idle reverse path)
   std::uint64_t ack_wire_bytes = 0;
+  // Node-crash detection (probe_idle_host_us > 0, i.e. crash injection armed).
+  std::uint64_t probes_sent = 0;       // keepalive probes on idle links
+  std::uint64_t down_links = 0;        // links declared dead on retransmit
+                                       // exhaustion (one per surviving
+                                       // endpoint with traffic toward the
+                                       // victim, not one per victim)
+  std::uint64_t down_link_drops = 0;   // sends dropped toward a dead peer
   // Mailbox shutdown accounting (counted with or without the channel).
   std::uint64_t mailbox_dropped_after_close = 0;
 
@@ -42,6 +49,9 @@ struct ChannelSnapshot {
     reorder_holds += o.reorder_holds;
     acks_sent += o.acks_sent;
     ack_wire_bytes += o.ack_wire_bytes;
+    probes_sent += o.probes_sent;
+    down_links += o.down_links;
+    down_link_drops += o.down_link_drops;
     mailbox_dropped_after_close += o.mailbox_dropped_after_close;
     return *this;
   }

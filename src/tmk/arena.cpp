@@ -53,6 +53,14 @@ void Arena::protect_rw(std::uint32_t node, PageIndex page) const {
   do_protect(page_ptr(node, page), PROT_READ | PROT_WRITE);
 }
 
+void Arena::reset_region(std::uint32_t node) const {
+  std::uint8_t* base = region_base(node);
+  NOW_CHECK_EQ(::mprotect(base, heap_bytes_, PROT_NONE), 0)
+      << "region reset mprotect failed";
+  NOW_CHECK_EQ(::madvise(base, heap_bytes_, MADV_DONTNEED), 0)
+      << "region reset madvise failed";
+}
+
 namespace fault {
 namespace {
 

@@ -44,6 +44,12 @@ class Arena {
   void protect_read(std::uint32_t node, PageIndex page) const;
   void protect_rw(std::uint32_t node, PageIndex page) const;
 
+  // Crash recovery: returns one node's whole region to its initial state —
+  // PROT_NONE, contents zero on next touch — without committing memory
+  // (MADV_DONTNEED drops the resident pages; anonymous mappings refill with
+  // zeros lazily).  Only safe while no thread can fault into the region.
+  void reset_region(std::uint32_t node) const;
+
   std::uint8_t* page_ptr(std::uint32_t node, PageIndex page) const {
     return region_base(node) + static_cast<std::size_t>(page) * kPageSize;
   }

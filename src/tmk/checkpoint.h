@@ -1,0 +1,159 @@
+// Barrier-aligned coordinated checkpoint store.
+//
+// Owned by the runtime, NOT by any node: it must survive the destruction
+// and reconstruction of every Node during crash recovery.  The recovery
+// model is a run-level coordinated restart — "a fresh runtime whose initial
+// heap content is the checkpoint" — so the store holds exactly the state
+// that is not reconstructed from scratch by a restart:
+//
+//  - the shared heap image (per page, incremental: a staged page that
+//    matches the durable image costs zero bytes),
+//  - the app-visible semaphore counts (the only manager state a program
+//    can observe across a barrier: at a completed barrier no lock is held,
+//    no waiter is queued, and all consistency metadata is equivalent to a
+//    fresh runtime whose pages carry the checkpoint bytes),
+//  - the shared-heap allocator state (bump pointer + live map + free
+//    lists), so recovered allocations neither collide nor leak.
+//
+// Two-phase durability: each node *stages* its slice after the checkpoint
+// barrier, then the barrier root *promotes* the whole epoch once all N
+// commits arrive.  A crash mid-stage loses only the staging area — the
+// previous durable epoch is untouched.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "tmk/config.h"
+
+namespace now::tmk {
+
+// Snapshot of the runtime's shared-heap allocator (mirrors DsmRuntime's
+// bump pointer, live map and size-bucketed free lists).
+struct AllocImage {
+  bool valid = false;
+  std::uint64_t bump = 0;
+  std::map<std::uint64_t, std::size_t> live;  // offset -> size
+  std::map<std::size_t, std::vector<std::uint64_t>> free_list;  // size -> offsets
+};
+
+class CheckpointStore {
+ public:
+  // Opens the staging area for `epoch` (idempotent across the N nodes that
+  // all call it for the same epoch; a leftover staging area from a crashed
+  // epoch must have been dropped first).
+  void begin_epoch(std::uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (staging_epoch_ == epoch) return;
+    NOW_CHECK(staged_pages_.empty() && staged_semas_.empty() &&
+              !staged_alloc_.valid)
+        << "checkpoint staging epoch " << staging_epoch_
+        << " still open while beginning epoch " << epoch;
+    staging_epoch_ = epoch;
+  }
+
+  // Stages one page image.  Incremental: a page identical to the durable
+  // image (absent durable pages read as all-zero — the heap starts zeroed)
+  // stages nothing and returns false; otherwise the 4 KB copy is staged and
+  // true is returned.  Caller charges stats accordingly.
+  bool put_page(std::uint64_t epoch, PageIndex page,
+                const unsigned char* data) {
+    std::lock_guard<std::mutex> lock(mu_);
+    NOW_CHECK_EQ(epoch, staging_epoch_) << "put_page into a closed epoch";
+    auto it = durable_pages_.find(page);
+    if (it != durable_pages_.end()) {
+      if (std::memcmp(it->second.data(), data, kPageSize) == 0) return false;
+    } else {
+      bool zero = true;
+      for (std::size_t i = 0; i < kPageSize; ++i)
+        if (data[i] != 0) { zero = false; break; }
+      if (zero) return false;
+    }
+    staged_pages_[page].assign(data, data + kPageSize);
+    return true;
+  }
+
+  void stage_sema(std::uint64_t epoch, std::uint32_t sema, std::int64_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    NOW_CHECK_EQ(epoch, staging_epoch_) << "stage_sema into a closed epoch";
+    staged_semas_[sema] = count;
+  }
+
+  void stage_alloc(std::uint64_t epoch, AllocImage&& img) {
+    std::lock_guard<std::mutex> lock(mu_);
+    NOW_CHECK_EQ(epoch, staging_epoch_) << "stage_alloc into a closed epoch";
+    img.valid = true;
+    staged_alloc_ = std::move(img);
+  }
+
+  // Promotes the staged epoch to durable (root-only, after all N commits).
+  // Pages merge over the previous image (an unstaged page was byte-identical
+  // — that is what incremental staging proved); sema counts and the
+  // allocator image REPLACE the previous ones (every epoch re-reports them
+  // in full, so absence means zero / fresh).
+  void promote(std::uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    NOW_CHECK_EQ(epoch, staging_epoch_) << "promote of a closed epoch";
+    for (auto& [page, bytes] : staged_pages_)
+      durable_pages_[page] = std::move(bytes);
+    durable_semas_ = std::move(staged_semas_);
+    NOW_CHECK(staged_alloc_.valid)
+        << "checkpoint epoch " << epoch << " promoted without allocator state";
+    durable_alloc_ = std::move(staged_alloc_);
+    durable_epoch_ = epoch;
+    clear_staging();
+  }
+
+  // Recovery: abandon a half-staged epoch (the crash interrupted it).
+  void drop_staging() {
+    std::lock_guard<std::mutex> lock(mu_);
+    clear_staging();
+  }
+
+  // 0 = nothing durable yet: recovery restarts the run from scratch
+  // (zeroed heap, fresh allocator, epoch 0).
+  std::uint64_t durable_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_epoch_;
+  }
+
+  // Restore-side accessors.  Only safe while the cluster is quiesced (every
+  // node destroyed or joined) — recovery is single-threaded by design.
+  const std::map<PageIndex, std::vector<unsigned char>>& pages() const {
+    return durable_pages_;
+  }
+  const std::map<std::uint32_t, std::int64_t>& semas() const {
+    return durable_semas_;
+  }
+  const AllocImage& alloc() const { return durable_alloc_; }
+
+  // Test hook: bytes currently held in the durable page image.
+  std::size_t durable_page_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_pages_.size() * kPageSize;
+  }
+
+ private:
+  void clear_staging() {  // mu_ held
+    staged_pages_.clear();
+    staged_semas_.clear();
+    staged_alloc_ = AllocImage{};
+    staging_epoch_ = 0;
+  }
+
+  mutable std::mutex mu_;
+  std::uint64_t staging_epoch_ = 0;
+  std::uint64_t durable_epoch_ = 0;
+  std::map<PageIndex, std::vector<unsigned char>> staged_pages_;
+  std::map<std::uint32_t, std::int64_t> staged_semas_;
+  AllocImage staged_alloc_;
+  std::map<PageIndex, std::vector<unsigned char>> durable_pages_;
+  std::map<std::uint32_t, std::int64_t> durable_semas_;
+  AllocImage durable_alloc_;
+};
+
+}  // namespace now::tmk

@@ -243,6 +243,44 @@ struct DsmConfig {
   // overhead.  Default overridable via TMK_NET_RELIABLE.
   bool net_reliable = detail::env_flag("TMK_NET_RELIABLE", false);
 
+  // Consecutive retransmissions of one packet before the channel gives a
+  // verdict: without crash injection that verdict is a loud abort (the
+  // protocol, not the wire, is broken — with every fault probability < 1,
+  // that many losses of the same packet is astronomically unlikely); with
+  // crash injection armed it is the node-down report that triggers
+  // recovery.  Default overridable via TMK_NET_MAX_RETRIES.
+  std::uint32_t net_max_retries = static_cast<std::uint32_t>(
+      detail::env_size("TMK_NET_MAX_RETRIES", 24));
+
+  // Node-crash chaos injection.  kNoCrashNode (the default) disables it.
+  // With a victim set, that node counts its synchronization points (barrier
+  // arrivals, lock acquires/releases, sema waits/signals, on-demand GC
+  // exchange steps — in program order on its compute thread) and at count
+  // `net_crash_at` it dies: its mailbox closes, its links go dark, its
+  // threads halt.  Detection is the channel's job (retransmit exhaustion +
+  // keepalive probes -> node-down verdict); recovery is the runtime's
+  // (clean failure report, or checkpoint rollback when ckpt_every > 0).
+  // The crash fires once per run, including across recoveries — a restarted
+  // run re-executes the same sync points but must not re-crash.  Defaults
+  // overridable via TMK_NET_CRASH_NODE / TMK_NET_CRASH_AT.
+  static constexpr std::uint32_t kNoCrashNode = 0xffffffffu;
+  std::uint32_t net_crash_node = static_cast<std::uint32_t>(
+      detail::env_size("TMK_NET_CRASH_NODE", kNoCrashNode));
+  std::uint32_t net_crash_at = static_cast<std::uint32_t>(
+      detail::env_size("TMK_NET_CRASH_AT", 0));
+
+  // Barrier-aligned coordinated checkpointing: every N-th barrier epoch
+  // (counted across recoveries — epoch numbering survives a restart), the
+  // departure is followed by a checkpoint pass in which each node snapshots
+  // its assigned slice of the shared heap (incrementally, against the last
+  // durable image), the sema manager counts, and the allocator state, then
+  // a commit round at the barrier root promotes the staged epoch to
+  // durable.  0 (the default) disables checkpointing: a detected crash is
+  // then a clean reported failure instead of a rollback.  Default
+  // overridable via TMK_CKPT_EVERY.
+  std::uint32_t ckpt_every = static_cast<std::uint32_t>(
+      detail::env_size("TMK_CKPT_EVERY", 0));
+
   // When true, each service-thread request handled also injects a random
   // short host-level delay, shaking out message-ordering assumptions in
   // stress tests.  Never enabled in benchmarks.
@@ -279,15 +317,32 @@ struct DsmConfig {
   // additionally be on without faults via net_reliable).
   bool chaos_enabled() const { return net_fault.any(); }
 
+  // Whether node-crash injection is armed (forces the reliability channel
+  // and its keepalive probes on — detection needs retransmit exhaustion).
+  bool crash_enabled() const {
+    return net_crash_node != kNoCrashNode && net_crash_node < num_nodes;
+  }
+
+  // Whether barrier-aligned checkpointing is in effect.
+  bool ckpt_enabled() const { return ckpt_every > 0; }
+
   // The simnet channel configuration this DSM config implies: faults force
   // the reliability protocol on, acks travel as kAck, and Network::send
-  // validates types against the tmk registry.
+  // validates types against the tmk registry.  Crash injection additionally
+  // arms keepalive probes (detection of a silently dead peer that owes
+  // nobody traffic) — pure checkpointing does not: a ckpt-only run keeps
+  // the perfect bypassed wire and its exact message counts.
   sim::ChannelConfig channel() const {
     sim::ChannelConfig c;
-    c.reliable = net_reliable || net_fault.any();
+    c.reliable = net_reliable || net_fault.any() || crash_enabled();
     c.fault = net_fault;
     c.ack_type = static_cast<std::uint16_t>(kAck);
     c.num_msg_types = static_cast<std::uint16_t>(kNumMsgTypes);
+    c.max_retries = net_max_retries;
+    if (crash_enabled()) {
+      c.probe_idle_host_us = 10000;
+      c.probe_type = static_cast<std::uint16_t>(kPing);
+    }
     return c;
   }
 

@@ -37,6 +37,12 @@ const char* msg_type_name(std::uint16_t t) {
     case kGcDepart: return "gc_depart";
     case kAck: return "ack";
     case kCondWaitAck: return "cond_wait_ack";
+    case kPing: return "ping";
+    case kNodeDown: return "node_down";
+    case kCkptQuery: return "ckpt_query";
+    case kCkptReply: return "ckpt_reply";
+    case kCkptCommit: return "ckpt_commit";
+    case kCkptAck: return "ckpt_ack";
     default: return "unknown";
   }
 }

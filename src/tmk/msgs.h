@@ -119,6 +119,34 @@ enum MsgType : std::uint16_t {
   // the waiter holds the lock until its registration is confirmed.
   kCondWaitAck = 33,  // manager -> waiter: cond registration confirmed
 
+  // Node-crash detection (TMK_NET_CRASH_NODE).  A sequenced keepalive the
+  // channel layer emits on an idle link while crash injection is armed: it
+  // demands an ack like any other transmission, so a silently dead peer —
+  // one nobody happens to owe traffic — still drives some survivor's
+  // retransmit counter to exhaustion.  Consumed inside the channel (probes
+  // advance the link sequence but are filtered at in-order release), so no
+  // handler ever sees one.
+  kPing = 34,  // channel keepalive probe, empty payload
+
+  // Crash verdict, injected unsequenced (ch_seq 0) into every live mailbox
+  // by the runtime once a channel endpoint's retransmissions toward a peer
+  // exhaust: the service thread poisons its node's blocking rendezvous
+  // points so the compute thread unwinds, and the runtime either reports a
+  // clean failure (checkpointing off) or rolls the whole run back to the
+  // last durable checkpoint epoch.
+  kNodeDown = 35,  // runtime -> every live node: payload = victim id
+
+  // Barrier-aligned coordinated checkpointing (TMK_CKPT_EVERY).  After a
+  // checkpoint barrier's departure, each node snapshots its assigned pages
+  // and asks its own service thread for the sema manager counts it owns
+  // (the only app-visible manager state that must survive a run-level
+  // restart), then confirms to the barrier root; the root promotes the
+  // staged epoch to durable once all N commits arrive.
+  kCkptQuery = 36,   // compute -> own service: snapshot managed sema counts
+  kCkptReply = 37,   // own service -> compute: (sema id, count) pairs
+  kCkptCommit = 38,  // node -> barrier root: epoch staged locally
+  kCkptAck = 39,     // root -> node: epoch durable cluster-wide
+
   kNumMsgTypes
 };
 

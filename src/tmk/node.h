@@ -264,6 +264,33 @@ class Node {
   // wants stopped (demotion scan + budget-rejected pushes).
   void send_update_denies(const std::map<std::uint32_t, std::vector<PageIndex>>& deny);
 
+  // ---------- crash injection + checkpoint/rollback (node_ckpt.cpp) ----------
+  // Compute-thread hook at every sync operation (and at the GC-exchange
+  // apply/initiate sites inside gc_poll): first unwinds promptly if a peer's
+  // death was announced (NodeDownError), then — if this node is the scripted
+  // victim and its sync-point counter just hit net_crash_at — kills the node:
+  // links go dark (Network::fail_node), the service thread starts dropping
+  // traffic, and NodeCrashedError unwinds the compute thread.  The crash
+  // fires once per *run*, including across recoveries (DsmRuntime::claim_crash).
+  void maybe_crash();
+  // Service thread, on the runtime's kNodeDown verdict: poisons every
+  // rendezvous so the compute thread unwinds wherever it is blocked.
+  void node_down(std::uint32_t victim);
+  // Compute thread, at the end of barrier(): every ckpt_every-th barrier
+  // stages this node's slice of the heap (incremental against the durable
+  // image), the sema counts it manages and — on the alloc server — the
+  // allocator, then commits to the barrier root.  The commit round is itself
+  // a barrier: nobody proceeds until the root promoted the epoch, so no
+  // page mutates while peers are still staging.
+  void ckpt_at_barrier(std::uint64_t epoch_done);
+  void on_ckpt_query(sim::Message&& m);   // service: stage own sema counts
+  void on_ckpt_commit(sim::Message&& m);  // service, root: park + promote at N
+  // Recovery (runtime, while the cluster is quiesced): installs one durable
+  // page image as this node's initial state — content resident, kReadOnly,
+  // ever_valid — exactly what a fresh runtime whose heap started with these
+  // bytes would look like after a first read fault.
+  void rehydrate_page(PageIndex page, const unsigned char* data);
+
   // ---------- messaging ----------
   // Batched diff fetch, shared by the fault path (and its prefetch window)
   // and the GC validation pass (the kDiffRequest wire layout lives in
@@ -589,6 +616,29 @@ class Node {
   // sent-caches but for the tree edge.  Reset to the full log vt whenever a
   // departure proves the parent caught up globally.
   VectorTime tree_sent_up_vt_;
+
+  // ---- crash injection + checkpoint state ----
+  // Sync points this compute thread has entered (compute thread only): the
+  // deterministic index TMK_NET_CRASH_AT selects the crash site against.
+  std::uint32_t crash_counter_ = 0;
+  // Set by maybe_crash when this node dies; the service thread then drains
+  // its (closed) mailbox without answering — a dead workstation must not
+  // keep serving diffs.
+  std::atomic<bool> crashed_{false};
+  // Set by node_down (service thread), checked by maybe_crash (compute
+  // thread) so survivors unwind at their next sync point even if they never
+  // block on the dead peer.
+  std::atomic<bool> down_{false};
+  std::atomic<std::uint32_t> down_victim_{0};
+  // Root-only checkpoint commit fan-in (service thread only): parked commit
+  // rpcs; the epoch promotes when all N arrive, then everyone gets its ack.
+  struct CkptCommit {
+    std::uint32_t node = 0;
+    std::uint64_t rpc_seq = 0;
+    std::uint64_t arrive_ts = 0;
+  };
+  std::vector<CkptCommit> ckpt_commits_;
+  std::uint64_t ckpt_commit_epoch_ = 0;
 
   // ---- fork-join plumbing ----
   WaitSlot fork_slot_;   // slave: next kFork / kShutdown

@@ -14,6 +14,9 @@ namespace now::tmk {
 
 void Node::service_main() {
   while (auto m = rt_.net().recv(id_)) {
+    // A dead workstation answers nothing: once the scripted crash fired,
+    // drain whatever the closed mailbox still holds and drop it.
+    if (crashed_.load(std::memory_order_acquire)) continue;
     handle_message(std::move(*m));
   }
 }
@@ -29,8 +32,19 @@ void Node::handle_message(sim::Message&& m) {
     case kAllocReply:
     case kFreeAck:
     case kCondWaitAck:
+    case kCkptReply:
+    case kCkptAck:
       rpc_.fulfill(m.seq, std::move(m));
       return;
+
+    // The runtime's node-down verdict (self-addressed control message): no
+    // service-overhead charge — it models the local watchdog firing, not a
+    // wire arrival.
+    case kNodeDown: {
+      ByteReader r(m.payload);
+      node_down(r.u32());
+      return;
+    }
 
     // Unsolicited wakeups for the compute thread.
     case kLockGrant:
@@ -95,6 +109,8 @@ void Node::handle_message(sim::Message&& m) {
     case kGcRequest: on_gc_request(std::move(m)); return;
     case kGcArrive: on_gc_arrive(std::move(m)); return;
     case kGcDepart: on_gc_depart(std::move(m)); return;
+    case kCkptQuery: on_ckpt_query(std::move(m)); return;
+    case kCkptCommit: on_ckpt_commit(std::move(m)); return;
     default:
       NOW_CHECK(false) << "node " << id_ << ": unknown message type " << m.type;
   }

@@ -29,6 +29,7 @@ std::uint64_t cond_key(std::uint32_t lock_id, std::uint32_t cond_id) {
 
 void Node::barrier() {
   sync_cpu();
+  maybe_crash();  // "at barrier arrival" crash site
   gc_poll();
   // 0-based index of the epoch this barrier ends; kDiffRequests sent after
   // the barrier returns carry epoch_done + 1 and are folded one barrier
@@ -79,6 +80,7 @@ void Node::barrier() {
   if (update_on) update_validate_pushed(epoch_done);
   if (rt_.config().gc_at_barriers) gc_at_barrier(floor);
   if (update_on) update_copyset_fold(epoch_done);
+  ckpt_at_barrier(epoch_done);
 }
 
 void Node::on_barrier_arrive(sim::Message&& m) {
@@ -512,6 +514,7 @@ void Node::gc_poll() {
   // Apply a parked departure first: its floor may already put this node
   // back under the ceiling without another exchange.
   if (gc_parked_flag_.load(std::memory_order_acquire)) {
+    maybe_crash();  // "mid GC exchange" crash site: departure parked, not applied
     VectorTime floor, ack;
     {
       std::lock_guard<std::mutex> lock(gc_depart_mu_);
@@ -530,6 +533,7 @@ void Node::gc_poll() {
   // this node asked for is still in flight, stay quiet.
   const std::uint32_t seen = gc_gen_seen_.load(std::memory_order_relaxed);
   if (gc_gen_requested_ > seen) return;
+  maybe_crash();  // "mid GC exchange" crash site: about to root an exchange
   gc_gen_requested_ = seen + 1;
   ByteWriter w;
   w.u8(0);   // initiate
@@ -1072,6 +1076,7 @@ std::uint32_t Node::consume_lock_grant(sim::Message& grant) {
 
 void Node::lock_acquire(std::uint32_t lock_id) {
   sync_cpu();
+  maybe_crash();  // "mid lock chain" crash site (requester side)
   gc_poll();
   stats_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
   const bool lock_push = rt_.config().lock_push_enabled();
@@ -1125,6 +1130,7 @@ void Node::lock_acquire(std::uint32_t lock_id) {
 
 void Node::lock_release(std::uint32_t lock_id) {
   sync_cpu();
+  maybe_crash();  // "mid lock chain" crash site (holder side: grant withheld)
   gc_poll();
   close_interval();
   if (rt_.config().lock_push_enabled()) {
@@ -1720,6 +1726,7 @@ void Node::apply_lock_push(std::uint32_t lock_id, std::uint32_t writer,
 
 void Node::sema_wait(std::uint32_t sema_id) {
   sync_cpu();
+  maybe_crash();
   gc_poll();
   stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
   ByteWriter w;
@@ -1735,6 +1742,7 @@ void Node::sema_wait(std::uint32_t sema_id) {
 
 void Node::sema_signal(std::uint32_t sema_id) {
   sync_cpu();
+  maybe_crash();
   gc_poll();
   stats_.sema_ops.fetch_add(1, std::memory_order_relaxed);
   close_interval();

@@ -12,6 +12,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -19,12 +20,37 @@
 
 namespace now::tmk {
 
+// Thrown out of a poisoned rendezvous: some *other* node died, its reply
+// will never come, and the compute thread must unwind so the runtime can
+// roll the run back (or report a clean failure).  May propagate through a
+// SIGSEGV frame — fetch_and_apply runs inside the fault handler — which is
+// why the build carries -fnon-call-exceptions.
+struct NodeDownError : std::runtime_error {
+  explicit NodeDownError(std::uint32_t victim_id)
+      : std::runtime_error("peer node down"), victim(victim_id) {}
+  std::uint32_t victim;
+};
+
+// Thrown by the crash-injection site on the victim itself: this node is the
+// one dying.  Distinct from NodeDownError so the runtime can tell the
+// scripted death from a collateral unwind.
+struct NodeCrashedError : std::runtime_error {
+  NodeCrashedError() : std::runtime_error("injected node crash") {}
+};
+
 // Seq-matched replies; supports several outstanding requests (a page fetch
 // requests diffs from every writer in parallel).
+//
+// Poisoning: when the service thread learns a peer died, every pending and
+// future wait must fail — the reply may simply never arrive.  poison()
+// wakes all waiters; a waiter whose reply already landed still gets it
+// (the data is valid and keeping it reduces divergence), everyone else
+// throws NodeDownError.
 class RpcClient {
  public:
   std::uint64_t begin() {
     std::lock_guard<std::mutex> lock(mu_);
+    if (poisoned_) throw NodeDownError(victim_);
     const std::uint64_t seq = next_seq_++;
     pending_.emplace(seq, std::nullopt);
     return seq;
@@ -34,7 +60,11 @@ class RpcClient {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = pending_.find(seq);
     NOW_CHECK(it != pending_.end()) << "rpc wait without begin";
-    cv_.wait(lock, [&] { return it->second.has_value(); });
+    cv_.wait(lock, [&] { return poisoned_ || it->second.has_value(); });
+    if (!it->second.has_value()) {
+      pending_.erase(it);
+      throw NodeDownError(victim_);
+    }
     sim::Message m = std::move(*it->second);
     pending_.erase(it);
     return m;
@@ -50,15 +80,27 @@ class RpcClient {
     cv_.notify_all();
   }
 
+  void poison(std::uint32_t victim) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      poisoned_ = true;
+      victim_ = victim;
+    }
+    cv_.notify_all();
+  }
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
   std::uint64_t next_seq_ = 1;
+  bool poisoned_ = false;
+  std::uint32_t victim_ = 0;
   std::unordered_map<std::uint64_t, std::optional<sim::Message>> pending_;
 };
 
 // Single-slot wakeup for unsolicited messages the compute thread blocks on
-// (lock grants, the next fork).
+// (lock grants, the next fork).  Poisoning mirrors RpcClient: queued
+// messages drain first, then take() throws NodeDownError.
 class WaitSlot {
  public:
   void post(sim::Message&& m) {
@@ -71,15 +113,27 @@ class WaitSlot {
 
   sim::Message take() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
+    cv_.wait(lock, [&] { return poisoned_ || !queue_.empty(); });
+    if (queue_.empty()) throw NodeDownError(victim_);
     sim::Message m = std::move(queue_.front());
     queue_.pop_front();
     return m;
   }
 
+  void poison(std::uint32_t victim) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      poisoned_ = true;
+      victim_ = victim;
+    }
+    cv_.notify_all();
+  }
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
+  bool poisoned_ = false;
+  std::uint32_t victim_ = 0;
   std::deque<sim::Message> queue_;
 };
 

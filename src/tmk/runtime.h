@@ -16,8 +16,11 @@
 #include <map>
 #include <vector>
 
+#include <atomic>
+
 #include "simnet/network.h"
 #include "tmk/arena.h"
+#include "tmk/checkpoint.h"
 #include "tmk/config.h"
 #include "tmk/gptr.h"
 #include "tmk/node.h"
@@ -78,6 +81,24 @@ struct Tmk {
     node.fork_slaves(fn, arg, arg_size);
   }
   void join() { node.join_slaves(); }
+
+  // ---- crash recovery ----
+  // Barrier epochs already durable when this execution of `fn` started:
+  // 0 on the first attempt, the rolled-back-to epoch after a recovery.
+  // Restart-aware programs gate their initialization on it and resume their
+  // loop from checkpointed progress state in shared memory.
+  std::uint64_t resume_epoch() const;
+};
+
+// What a run did, crash-wise.  Source compatibility: callers that ignore the
+// return value behave exactly as before (a crash-free run is `completed` with
+// everything else zero).
+struct RunReport {
+  bool completed = true;    // fn ran to completion on every node
+  bool node_down = false;   // a node-crash verdict was raised at least once
+  std::uint32_t victim = 0; // the node that died (valid when node_down)
+  std::uint32_t recoveries = 0;   // rollback/restart cycles taken
+  std::uint64_t resume_epoch = 0; // durable epoch of the last restart
 };
 
 class DsmRuntime {
@@ -88,11 +109,15 @@ class DsmRuntime {
   DsmRuntime& operator=(const DsmRuntime&) = delete;
 
   // Runs `fn` on every node concurrently (SPMD); returns when all complete.
-  void run_spmd(const std::function<void(Tmk&)>& fn);
+  // If a node-crash verdict is raised mid-run and checkpointing is on, the
+  // whole cluster is rolled back to the last durable barrier epoch and `fn`
+  // re-runs (restart-aware programs consult Tmk::resume_epoch); with
+  // checkpointing off the failure is reported cleanly instead.
+  RunReport run_spmd(const std::function<void(Tmk&)>& fn);
 
   // Runs `program` on node 0 while the other nodes serve Tmk_fork requests;
   // returns when the program finishes and the slaves have been shut down.
-  void run_master(const std::function<void(Tmk&)>& program);
+  RunReport run_master(const std::function<void(Tmk&)>& program);
 
   const DsmConfig& config() const { return cfg_; }
   Arena& arena() { return arena_; }
@@ -126,7 +151,34 @@ class DsmRuntime {
   // First offset handed out by the allocator (after the root-slot page).
   static constexpr std::uint64_t kHeapStart = kPageSize;
 
+  // ---- crash recovery plumbing (used by Node) ----
+  CheckpointStore& checkpoint() { return ckpt_; }
+  // Barrier epochs durable before the current execution attempt began.
+  std::uint64_t resume_epoch() const { return resume_epoch_; }
+  // The scripted crash fires once per run, even across recoveries: only the
+  // first claimant dies (the counter-selected sync point replays identically
+  // after a rollback — without this latch the victim would die again).
+  bool claim_crash() { return !crash_claimed_.exchange(true); }
+  // Alloc server's checkpoint pass: snapshot the allocator into staging.
+  void stage_alloc_image(std::uint64_t epoch);
+
  private:
+  // Channel verdict (retransmit exhaustion on some node's link): posts a
+  // kNodeDown control message into every live mailbox so each service thread
+  // poisons its compute thread's rendezvous.  Runs on whichever service
+  // thread's channel maintenance pass detected the death.
+  void announce_node_down(std::uint32_t victim);
+  // Quiesce the cluster, carry its stats/clock forward, then rebuild every
+  // node from the last durable checkpoint (or from scratch when none is).
+  void recover_from_checkpoint();
+  void restore_allocator();  // from ckpt_.alloc(); cluster quiesced
+
+  // A crash site that replays identically after every rollback (e.g. one
+  // planted *before* any checkpoint can complete, with ckpt_every too large)
+  // would recover forever; claim_crash prevents the scripted one from
+  // refiring, so this cap only catches runaway protocol bugs.
+  static constexpr std::uint32_t kMaxRecoveries = 8;
+
   DsmConfig cfg_;
   SyncTopology topo_;
   Arena arena_;
@@ -137,8 +189,22 @@ class DsmRuntime {
   std::uint64_t alloc_bump_ = kHeapStart;
   std::map<std::uint64_t, std::size_t> alloc_live_;          // offset -> size
   std::map<std::size_t, std::vector<std::uint64_t>> alloc_free_;  // size -> offsets
+
+  // ---- crash recovery state ----
+  CheckpointStore ckpt_;
+  std::atomic<bool> node_down_{false};
+  std::atomic<std::uint32_t> node_down_victim_{0};
+  std::atomic<bool> crash_claimed_{false};
+  std::uint64_t resume_epoch_ = 0;
+  std::uint32_t recoveries_ = 0;
+  // Stats and virtual time of execution attempts that were rolled back: the
+  // work (and the wire traffic) a crashed segment burned is real and stays
+  // in the totals.
+  DsmStatsSnapshot carried_stats_;
+  std::uint64_t carried_vt_ = 0;
 };
 
 inline std::uint32_t Tmk::nprocs() const { return rt.config().num_nodes; }
+inline std::uint64_t Tmk::resume_epoch() const { return rt.resume_epoch(); }
 
 }  // namespace now::tmk

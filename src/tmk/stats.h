@@ -75,6 +75,19 @@ struct DsmStatsSnapshot {
   std::uint64_t sema_ops = 0;
   std::uint64_t cond_ops = 0;
   std::uint64_t flushes = 0;
+  std::uint64_t ckpt_epochs = 0;          // checkpoint epochs promoted to
+                                          // durable (root-counted, so the
+                                          // total is the epoch count, not
+                                          // N x epochs)
+  std::uint64_t ckpt_bytes_written = 0;   // page bytes (re)written into the
+                                          // checkpoint store
+  std::uint64_t ckpt_pages_incremental = 0;  // assigned pages skipped because
+                                             // their content matched the
+                                             // durable image (the incremental
+                                             // win the diff engine buys)
+  std::uint64_t recoveries = 0;           // node-down rollback/restart cycles
+  std::uint64_t rollback_epochs_lost = 0; // barrier epochs of progress rolled
+                                          // back past the durable checkpoint
 
   DsmStatsSnapshot& operator+=(const DsmStatsSnapshot& o) {
     read_faults += o.read_faults;
@@ -113,6 +126,11 @@ struct DsmStatsSnapshot {
     sema_ops += o.sema_ops;
     cond_ops += o.cond_ops;
     flushes += o.flushes;
+    ckpt_epochs += o.ckpt_epochs;
+    ckpt_bytes_written += o.ckpt_bytes_written;
+    ckpt_pages_incremental += o.ckpt_pages_incremental;
+    recoveries += o.recoveries;
+    rollback_epochs_lost += o.rollback_epochs_lost;
     return *this;
   }
 };
@@ -155,6 +173,11 @@ struct DsmStats {
   std::atomic<std::uint64_t> sema_ops{0};
   std::atomic<std::uint64_t> cond_ops{0};
   std::atomic<std::uint64_t> flushes{0};
+  std::atomic<std::uint64_t> ckpt_epochs{0};
+  std::atomic<std::uint64_t> ckpt_bytes_written{0};
+  std::atomic<std::uint64_t> ckpt_pages_incremental{0};
+  std::atomic<std::uint64_t> recoveries{0};
+  std::atomic<std::uint64_t> rollback_epochs_lost{0};
 
   DsmStatsSnapshot snapshot() const {
     DsmStatsSnapshot s;
@@ -194,6 +217,11 @@ struct DsmStats {
     s.sema_ops = sema_ops.load(std::memory_order_relaxed);
     s.cond_ops = cond_ops.load(std::memory_order_relaxed);
     s.flushes = flushes.load(std::memory_order_relaxed);
+    s.ckpt_epochs = ckpt_epochs.load(std::memory_order_relaxed);
+    s.ckpt_bytes_written = ckpt_bytes_written.load(std::memory_order_relaxed);
+    s.ckpt_pages_incremental = ckpt_pages_incremental.load(std::memory_order_relaxed);
+    s.recoveries = recoveries.load(std::memory_order_relaxed);
+    s.rollback_epochs_lost = rollback_epochs_lost.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -159,6 +159,108 @@ TEST(ConfigEnvDeathTest, RejectsMalformedMetaCeilingKnob) {
   }
 }
 
+// Crash/recovery knobs: the retry budget that used to be a hard-coded abort
+// threshold, the crash script, and the checkpoint cadence — all session
+// defaults for the CI crash leg, all hardened by the same parser.
+TEST(ConfigEnv, CrashRecoveryKnobsOverrideDefaults) {
+  EXPECT_EQ(DsmConfig{}.net_max_retries, 24u);
+  EXPECT_EQ(DsmConfig{}.net_crash_node, DsmConfig::kNoCrashNode);
+  EXPECT_EQ(DsmConfig{}.net_crash_at, 0u);
+  EXPECT_EQ(DsmConfig{}.ckpt_every, 0u);
+  EXPECT_FALSE(DsmConfig{}.crash_enabled());
+  EXPECT_FALSE(DsmConfig{}.ckpt_enabled());
+  {
+    ScopedEnv env("TMK_NET_MAX_RETRIES", "3");
+    EXPECT_EQ(DsmConfig{}.net_max_retries, 3u);
+  }
+  {
+    ScopedEnv env("TMK_NET_CRASH_NODE", "2");
+    DsmConfig c;
+    EXPECT_EQ(c.net_crash_node, 2u);
+    EXPECT_TRUE(c.crash_enabled());
+  }
+  {
+    ScopedEnv env("TMK_NET_CRASH_AT", "17");
+    EXPECT_EQ(DsmConfig{}.net_crash_at, 17u);
+  }
+  {
+    ScopedEnv env("TMK_CKPT_EVERY", "2");
+    DsmConfig c;
+    EXPECT_EQ(c.ckpt_every, 2u);
+    EXPECT_TRUE(c.ckpt_enabled());
+  }
+}
+
+// A victim id outside the cluster disarms the script (the CI leg sets the
+// victim once for suites whose tests run at many node counts), and an
+// explicit field assignment still beats the env default.
+TEST(ConfigEnv, CrashKnobGatingAndExplicitAssignment) {
+  {
+    ScopedEnv env("TMK_NET_CRASH_NODE", "12");
+    DsmConfig c;
+    c.num_nodes = 4;
+    EXPECT_FALSE(c.crash_enabled());
+    c.num_nodes = 16;
+    EXPECT_TRUE(c.crash_enabled());
+  }
+  ScopedEnv env("TMK_CKPT_EVERY", "2");
+  DsmConfig c;
+  c.ckpt_every = 0;
+  EXPECT_FALSE(c.ckpt_enabled());
+}
+
+// The channel the config implies: the retry budget must reach the wire
+// layer, and crash injection must force the reliability protocol plus
+// keepalive probes on — while a ckpt-only (or knobs-off) run keeps the
+// bypassed perfect wire that makes its message counts exact.
+TEST(ConfigEnv, CrashKnobsPlumbIntoChannelConfig) {
+  {
+    DsmConfig c;
+    c.net_max_retries = 7;
+    EXPECT_EQ(c.channel().max_retries, 7u);
+    EXPECT_FALSE(c.channel().reliable);
+    EXPECT_EQ(c.channel().probe_idle_host_us, 0u);
+  }
+  {
+    DsmConfig c;
+    c.net_crash_node = 1;
+    ASSERT_TRUE(c.crash_enabled());
+    const sim::ChannelConfig ch = c.channel();
+    EXPECT_TRUE(ch.reliable);
+    EXPECT_GT(ch.probe_idle_host_us, 0u);
+    EXPECT_NE(ch.probe_type, 0u);
+  }
+  {
+    DsmConfig c;
+    c.ckpt_every = 4;
+    EXPECT_FALSE(c.channel().reliable);
+    EXPECT_EQ(c.channel().probe_idle_host_us, 0u);
+  }
+}
+
+TEST(ConfigEnvDeathTest, RejectsMalformedCrashRecoveryKnobs) {
+  {
+    ScopedEnv env("TMK_NET_MAX_RETRIES", "many");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_NET_MAX_RETRIES");
+  }
+  {
+    ScopedEnv env("TMK_NET_CRASH_NODE", "node2");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_NET_CRASH_NODE");
+  }
+  {
+    ScopedEnv env("TMK_NET_CRASH_AT", "-3");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_NET_CRASH_AT");
+  }
+  {
+    ScopedEnv env("TMK_CKPT_EVERY", "2nd");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "malformed TMK_CKPT_EVERY");
+  }
+  {
+    ScopedEnv env("TMK_CKPT_EVERY", "99999999999999999999999999");
+    EXPECT_DEATH({ DsmConfig c; (void)c; }, "overflows");
+  }
+}
+
 TEST(ConfigEnvDeathTest, RejectsMalformedLockPushKnobs) {
   {
     ScopedEnv env("TMK_LOCK_PUSH_BYTES", "16k");

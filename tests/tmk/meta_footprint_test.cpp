@@ -38,6 +38,7 @@ DsmConfig precise_cfg(std::uint32_t nodes) {
   c.update_mode = false;
   c.lock_push_bytes = 0;
   c.meta_ceiling_bytes = 0;
+  c.ckpt_every = 0;  // ckpt passes apply pinned backlogs early
   c.time.cpu_scale = 0.0;
   return c;
 }
